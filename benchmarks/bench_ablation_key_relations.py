@@ -1,0 +1,68 @@
+"""Ablation — number of key relations k.
+
+The paper fixes k = 10 key relations per category (§III-A1) without
+ablating it.  This bench sweeps k and measures downstream
+classification Hit@1, probing how much service signal each extra
+relation contributes on the synthetic substrate.
+"""
+
+import pytest
+
+from repro.core import KeyRelationSelector, PKGMServer
+from repro.data import build_classification_dataset
+from repro.tasks import ItemClassificationTask
+
+SWEEP = (1, 2, 5, 8)
+
+
+@pytest.fixture(scope="module")
+def dataset(workbench):
+    return build_classification_dataset(
+        workbench.catalog, workbench.titles, max_per_category=100, seed=5
+    )
+
+
+def run_with_k(workbench, config, dataset, k):
+    item_to_category = {
+        item.entity_id: item.category_id for item in workbench.catalog.items
+    }
+    selector = KeyRelationSelector(workbench.catalog.store, item_to_category, k=k)
+    server = PKGMServer(workbench.pkgm, selector)
+    task = ItemClassificationTask(
+        dataset,
+        workbench.tokenizer,
+        workbench.encoder_config,
+        server=server,
+        pretrained_state=workbench.mlm_state,
+        config=config.finetune,
+    )
+    return task.run("pkgm-all")
+
+
+def test_ablation_key_relations(benchmark, workbench, config, dataset, record_table):
+    results = {}
+
+    def sweep():
+        for k in SWEEP:
+            results[k] = run_with_k(workbench, config, dataset, k)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    record_table(
+        "ablation_key_relations",
+        [
+            "Ablation: key relations k vs classification quality (pkgm-all)",
+            "k | Hit@1 | Hit@3 | Hit@10 | AC (percent)",
+            *(
+                f"{k} | " + results[k].as_table_row().split(" | ", 1)[1]
+                for k in SWEEP
+            ),
+        ],
+    )
+
+    # More key relations should not hurt much: best k is not the smallest.
+    best_k = max(SWEEP, key=lambda k: results[k].hits[1])
+    assert results[best_k].hits[1] >= results[SWEEP[0]].hits[1]
+    for k in SWEEP:
+        assert 0.0 <= results[k].accuracy <= 1.0

@@ -1,0 +1,71 @@
+"""Table IV — item classification: BERT vs BERT+PKGM variants.
+
+Paper numbers (Hit@1 | Hit@3 | Hit@10 | AC):
+
+    BERT          71.03 | 84.91 | 92.47 | 71.52
+    BERT_PKGM-T   71.26 | 85.76 | 93.07 | 72.14
+    BERT_PKGM-R   71.55 | 85.43 | 92.86 | 72.26
+    BERT_PKGM-all 71.64 | 85.90 | 93.17 | 72.19
+
+Shape to reproduce: every PKGM variant >= base on Hit@k; the margins
+are small in the paper (their base BERT is very strong); at our scale
+the gap is larger because the mini encoder underfits noisy titles while
+PKGM vectors carry clean attribute signal.
+"""
+
+import pytest
+
+from repro.data import build_classification_dataset
+from repro.tasks import ItemClassificationTask
+
+PAPER_ROWS = [
+    "BERT (paper)          | 71.03 | 84.91 | 92.47 | 71.52",
+    "BERT_PKGM-T (paper)   | 71.26 | 85.76 | 93.07 | 72.14",
+    "BERT_PKGM-R (paper)   | 71.55 | 85.43 | 92.86 | 72.26",
+    "BERT_PKGM-all (paper) | 71.64 | 85.90 | 93.17 | 72.19",
+]
+
+
+@pytest.fixture(scope="module")
+def task(workbench, config):
+    dataset = build_classification_dataset(
+        workbench.catalog, workbench.titles, max_per_category=100, seed=5
+    )
+    return ItemClassificationTask(
+        dataset,
+        workbench.tokenizer,
+        workbench.encoder_config,
+        server=workbench.server,
+        pretrained_state=workbench.mlm_state,
+        config=config.finetune,
+    )
+
+
+def test_table4_item_classification(benchmark, task, record_table):
+    results = {}
+
+    def run_all():
+        for variant in ("base", "pkgm-t", "pkgm-r", "pkgm-all"):
+            results[variant] = task.run(variant)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    record_table(
+        "table4_item_classification",
+        [
+            "Table IV: variant | Hit@1 | Hit@3 | Hit@10 | AC (percent)",
+            *PAPER_ROWS,
+            "--- measured (synthetic substrate) ---",
+            *(results[v].as_table_row() for v in results),
+        ],
+    )
+
+    base = results["base"]
+    for variant in ("pkgm-t", "pkgm-r", "pkgm-all"):
+        assert results[variant].hits[10] >= base.hits[10] - 0.02, (
+            f"{variant} Hit@10 fell below base"
+        )
+    # The paper's headline: PKGM-enhanced beats base on Hit@1.
+    best_pkgm_hit1 = max(results[v].hits[1] for v in ("pkgm-t", "pkgm-r", "pkgm-all"))
+    assert best_pkgm_hit1 >= base.hits[1]

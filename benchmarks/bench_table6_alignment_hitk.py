@@ -1,0 +1,57 @@
+"""Table VI — alignment Hit@k over 100 candidates per aligned pair.
+
+Paper numbers (Hit@1 | Hit@3 | Hit@10):
+
+    category-1: BERT 65.06 | 76.06 | 86.68   PKGM-all 64.75 | 77.50 | 87.43
+    category-2: BERT 65.86 | 78.07 | 87.59   PKGM-all 66.13 | 78.19 | 87.96
+    category-3: BERT 49.64 | 66.18 | 82.37   PKGM-all 50.60 | 67.14 | 83.45
+
+Shape to reproduce: PKGM-all >= BERT on Hit@10 for every category (the
+paper's consistent win); on Hit@1 the paper saw base edge out PKGM-all
+on the *largest* category (category-1) — small-data is where PKGM pays
+off most, which the key-relation ablation probes directly.
+"""
+
+import numpy as np
+
+from .conftest import ALIGNMENT_CATEGORIES
+
+PAPER_ROWS = [
+    "Table VI (paper), Hit@1 | Hit@3 | Hit@10:",
+    "  category-1: BERT 65.06 | 76.06 | 86.68 ; PKGM-all 64.75 | 77.50 | 87.43",
+    "  category-2: BERT 65.86 | 78.07 | 87.59 ; PKGM-all 66.13 | 78.19 | 87.96",
+    "  category-3: BERT 49.64 | 66.18 | 82.37 ; PKGM-all 50.60 | 67.14 | 83.45",
+]
+
+
+def test_table6_alignment_hitk(benchmark, alignment_results, record_table):
+    benchmark.pedantic(lambda: alignment_results, rounds=1, iterations=1)
+
+    lines = [
+        "Table VI: variant | category | Hit@1 | Hit@3 | Hit@10 (percent)",
+        *PAPER_ROWS,
+        "--- measured (synthetic substrate) ---",
+    ]
+    for category in ALIGNMENT_CATEGORIES:
+        for variant in ("base", "pkgm-t", "pkgm-r", "pkgm-all"):
+            lines.append(alignment_results[(category, variant)].as_hit_row())
+    record_table("table6_alignment_hitk", lines)
+
+    # The variant deltas on this ranking metric are smaller than the
+    # title-sampling noise at synthetic scale (35-45 cases per category;
+    # the paper's own deltas are sub-point and it too saw base win a
+    # cell).  We therefore assert only protocol sanity here and let the
+    # recorded table speak; the alignment *accuracy* comparison — which
+    # does reproduce — is asserted in bench_table7.
+    def mean_hit(variant, k):
+        return np.mean(
+            [alignment_results[(c, variant)].hits[k] for c in ALIGNMENT_CATEGORIES]
+        )
+
+    for variant in ("base", "pkgm-t", "pkgm-r", "pkgm-all"):
+        assert 0.0 <= mean_hit(variant, 1) <= mean_hit(variant, 10) <= 1.0
+    for c in ALIGNMENT_CATEGORIES:
+        hits = alignment_results[(c, "pkgm-all")].hits
+        assert hits[1] <= hits[3] <= hits[10]
+        # 100-candidate protocol: Hit@10 must clear a degenerate scorer.
+        assert alignment_results[(c, "base")].hits[10] >= 0.05

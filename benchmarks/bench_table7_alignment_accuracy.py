@@ -1,0 +1,54 @@
+"""Table VII — alignment pair-classification accuracy.
+
+Paper numbers (category-1 | category-2 | category-3):
+
+    BERT          88.94 | 89.31 | 86.94
+    BERT_PKGM-T   88.65 | 89.89 | 87.88
+    BERT_PKGM-R   89.09 | 89.60 | 87.88
+    BERT_PKGM-all 89.15 | 90.08 | 88.13
+
+Shape to reproduce: PKGM-all has the best accuracy on every category.
+"""
+
+from .conftest import ALIGNMENT_CATEGORIES
+
+PAPER_ROWS = [
+    "BERT (paper)          | 88.94 | 89.31 | 86.94",
+    "BERT_PKGM-T (paper)   | 88.65 | 89.89 | 87.88",
+    "BERT_PKGM-R (paper)   | 89.09 | 89.60 | 87.88",
+    "BERT_PKGM-all (paper) | 89.15 | 90.08 | 88.13",
+]
+
+
+def test_table7_alignment_accuracy(benchmark, alignment_results, record_table):
+    benchmark.pedantic(lambda: alignment_results, rounds=1, iterations=1)
+
+    lines = [
+        "Table VII: variant | category-1 | category-2 | category-3 (accuracy %)",
+        *PAPER_ROWS,
+        "--- measured (synthetic substrate) ---",
+    ]
+    for variant in ("base", "pkgm-t", "pkgm-r", "pkgm-all"):
+        cells = " | ".join(
+            alignment_results[(c, variant)].as_accuracy_cell()
+            for c in ALIGNMENT_CATEGORIES
+        )
+        lines.append(f"{variant} | {cells}")
+    record_table("table7_alignment_accuracy", lines)
+
+    # Per-category winners flip with the title draw at synthetic scale
+    # (35-45 eval pairs per category; deltas of a few points vs noise of
+    # ~8 points), so assertions are sanity-level and the recorded table
+    # is the deliverable.  The stable cross-seed observation — PKGM
+    # variants at least match base under scarce supervision — is
+    # asserted at smoke scale in tests/tasks/test_alignment_task.py.
+    for c in ALIGNMENT_CATEGORIES:
+        for variant in ("base", "pkgm-t", "pkgm-r", "pkgm-all"):
+            accuracy = alignment_results[(c, variant)].accuracy
+            assert 0.0 <= accuracy <= 1.0
+        # Fine-tuning learned something: best variant clears coin-flip.
+        best = max(
+            alignment_results[(c, v)].accuracy
+            for v in ("base", "pkgm-t", "pkgm-r", "pkgm-all")
+        )
+        assert best > 0.5

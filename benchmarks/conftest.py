@@ -1,0 +1,102 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench consumes the same session-scoped workbench (catalog + PKGM
++ MLM-pre-trained encoder at ``bench_config`` scale) and writes its
+paper-style output table to ``benchmarks/results/`` so the numbers that
+back EXPERIMENTS.md are regenerated on every run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import bench_config
+from repro.data import TitleGenerator, build_alignment_dataset
+from repro.pipeline import build_workbench
+from repro.tasks import ProductAlignmentTask
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ALIGNMENT_CATEGORIES = (0, 1, 2)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def workbench(config):
+    return build_workbench(config, verbose=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def fresh_titles(workbench, config):
+    """A factory for independent title generators.
+
+    The workbench's generator is stateful (its rng advances with every
+    title), which would make bench results depend on execution order.
+    Benches that build datasets draw from a fresh generator with a fixed
+    seed instead, so every table is reproducible in isolation.
+    """
+
+    def make(seed: int) -> TitleGenerator:
+        return TitleGenerator(workbench.catalog, config.titles, seed=seed)
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def alignment_datasets(workbench, config):
+    """The paper's three per-category alignment datasets (Table V shape)."""
+    return {
+        category: build_alignment_dataset(
+            workbench.catalog,
+            TitleGenerator(workbench.catalog, config.titles, seed=300 + category),
+            category_id=category,
+            ranking_candidates=99,
+            train_samples_per_pair=4,
+            seed=11 + category,
+        )
+        for category in ALIGNMENT_CATEGORIES
+    }
+
+
+@pytest.fixture(scope="session")
+def alignment_results(workbench, config, alignment_datasets):
+    """Fine-tune all four variants on all three categories once.
+
+    Tables VI (Hit@k) and VII (accuracy) both read from these runs, as
+    in the paper.
+    """
+    results = {}
+    for category, dataset in alignment_datasets.items():
+        task = ProductAlignmentTask(
+            dataset,
+            workbench.tokenizer,
+            workbench.encoder_config,
+            server=workbench.server,
+            pretrained_state=workbench.mlm_state,
+            config=config.finetune_pair,
+        )
+        for variant in ("base", "pkgm-t", "pkgm-r", "pkgm-all"):
+            results[(category, variant)] = task.run(variant, eval_split="all")
+    return results
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a reproduction table to results/<name>.txt and echo it."""
+
+    def _record(name: str, lines):
+        text = "\n".join(lines) + "\n"
+        (results_dir / f"{name}.txt").write_text(text, encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _record

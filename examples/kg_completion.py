@@ -1,0 +1,81 @@
+"""KG completion: PKGM's triple scorer vs the classic KGE zoo.
+
+The paper picks TransE for the triple query module "for its simplicity
+and effectiveness".  This example backs that choice empirically on the
+synthetic product KG: it trains TransE, TransH, TransR, DistMult,
+ComplEx and RESCAL with one shared trainer and compares filtered link
+prediction (MRR / Hits@k), then shows PKGM's completion-during-service
+on deliberately held-out facts.
+
+Run:  python examples/kg_completion.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    KGETrainer,
+    KGETrainerConfig,
+    evaluate_link_prediction,
+    make_scorer,
+)
+from repro.config import default_config
+from repro.core import pretrain_pkgm
+from repro.data import generate_catalog
+from repro.kg import holdout_incompleteness, split_triples
+
+
+def main() -> None:
+    config = default_config()
+    catalog = generate_catalog(config.catalog)
+    n_entities = len(catalog.entities)
+    n_relations = len(catalog.relations)
+    print(
+        f"product KG: {len(catalog.store)} triples, "
+        f"{n_entities} entities, {n_relations} relations"
+    )
+
+    print("\n=== Link prediction across the KGE zoo (filtered) ===")
+    split = split_triples(catalog.store, 0.1, 0.1, np.random.default_rng(0))
+    for name in ("transe", "transh", "transr", "distmult", "complex", "rescal"):
+        model = make_scorer(
+            name, n_entities, n_relations, dim=24, rng=np.random.default_rng(0)
+        )
+        KGETrainer(
+            model,
+            KGETrainerConfig(epochs=25, batch_size=256, learning_rate=0.02, seed=0),
+        ).train(split.train)
+        result = evaluate_link_prediction(
+            model,
+            split.test,
+            [split.train, split.valid, split.test],
+            max_queries=150,
+            rng=np.random.default_rng(1),
+        )
+        print(f"  {result.as_row(name)}")
+
+    print("\n=== PKGM completion-during-service (paper §II-D) ===")
+    observed, missing = holdout_incompleteness(
+        catalog.store, 0.15, np.random.default_rng(7)
+    )
+    model = pretrain_pkgm(
+        observed,
+        n_entities,
+        n_relations,
+        model_config=config.pkgm,
+        trainer_config=config.pkgm_trainer,
+        seed=0,
+    )
+    held = missing.to_array()
+    service = model.service_triple(held[:, 0], held[:, 1])
+    top = model.nearest_entities(service, k=10)
+    hit1 = np.mean([held[i, 2] == top[i][0] for i in range(len(held))])
+    hit10 = np.mean([held[i, 2] in top[i] for i in range(len(held))])
+    print(
+        f"decoding S_T(h, r) for {len(held)} facts the KG never saw: "
+        f"Hit@1={hit1:.3f} Hit@10={hit10:.3f} "
+        f"(chance Hit@10 ~ {10 / n_entities:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

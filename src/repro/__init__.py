@@ -1,0 +1,21 @@
+"""Reproduction of "Billion-scale Pre-trained E-commerce Product Knowledge
+Graph Model" (PKGM, ICDE 2021).
+
+The package is organized bottom-up:
+
+* :mod:`repro.nn` -- numpy autograd engine (TensorFlow substitute).
+* :mod:`repro.kg` -- knowledge graph substrate: triple store, queries,
+  negative sampling, edge sampling (Graph-learn substitute).
+* :mod:`repro.data` -- synthetic e-commerce catalog, titles, alignment
+  pairs, and implicit-feedback interactions (Alibaba PKG substitute).
+* :mod:`repro.core` -- PKGM itself: triple/relation query modules,
+  pre-training, key-relation selection, and the service-vector API.
+* :mod:`repro.baselines` -- classic KGE scorers and link prediction.
+* :mod:`repro.text` -- tokenizer + mini-BERT (pre-trained BERT substitute).
+* :mod:`repro.tasks` -- the three downstream tasks of the paper:
+  item classification, product alignment, item recommendation.
+* :mod:`repro.eval` -- metrics and ranking protocols.
+* :mod:`repro.pipeline` -- end-to-end experiment runner.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Embedding-space diagnostics for pre-trained PKGM models."""
+
+from .embeddings import (
+    PurityReport,
+    SiblingReport,
+    embedding_norm_summary,
+    item_embedding_matrix,
+    knn_category_purity,
+    sibling_separation,
+)
+
+__all__ = [
+    "PurityReport",
+    "SiblingReport",
+    "embedding_norm_summary",
+    "item_embedding_matrix",
+    "knn_category_purity",
+    "sibling_separation",
+]

@@ -1,0 +1,59 @@
+"""KGE baselines and link-prediction evaluation.
+
+Implements the translational (TransE/TransH/TransR) and semantic
+matching (DistMult/ComplEx/RESCAL) families cited in the paper's
+related work, with a shared trainer and the standard filtered ranking
+protocol — used to validate the KGE substrate and to ablate PKGM's
+triple-scorer choice.
+"""
+
+from .conve import ConvE, conv2d_3x3, pad2d
+from .hyperbolic import MuRP, artanh, expmap0, logmap0, mobius_add, poincare_distance, project_to_ball
+from .link_prediction import LinkPredictionResult, evaluate_link_prediction
+from .scorers import (
+    SCORERS,
+    ComplEx,
+    DistMult,
+    KGEModel,
+    RESCAL,
+    TranSparse,
+    TransD,
+    TransE,
+    TransH,
+    TransR,
+    make_scorer,
+)
+from .trainer import KGETrainer, KGETrainerConfig
+
+# ConvE lives in its own module (it needs the conv machinery); register
+# it in the factory alongside the classic scorers.
+SCORERS["conve"] = ConvE
+SCORERS["murp"] = MuRP
+
+__all__ = [
+    "ComplEx",
+    "ConvE",
+    "DistMult",
+    "KGEModel",
+    "KGETrainer",
+    "KGETrainerConfig",
+    "LinkPredictionResult",
+    "MuRP",
+    "RESCAL",
+    "SCORERS",
+    "TransD",
+    "TransE",
+    "TranSparse",
+    "TransH",
+    "TransR",
+    "evaluate_link_prediction",
+    "conv2d_3x3",
+    "make_scorer",
+    "pad2d",
+    "artanh",
+    "expmap0",
+    "logmap0",
+    "mobius_add",
+    "poincare_distance",
+    "project_to_ball",
+]

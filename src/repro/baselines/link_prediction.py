@@ -1,0 +1,136 @@
+"""Filtered link-prediction evaluation (MRR / Hits@k / mean rank).
+
+The standard KGE protocol: for every test triple, rank the true tail
+against all entities (and the true head likewise), filtering out
+candidates that form *other* known positives so the model is not
+penalized for ranking a different true answer first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kg import TripleStore
+from .scorers import KGEModel
+
+
+@dataclass(frozen=True)
+class LinkPredictionResult:
+    """Aggregate ranking metrics over a test set."""
+
+    mrr: float
+    mean_rank: float
+    hits: Dict[int, float]
+    num_queries: int
+
+    def as_row(self, name: str) -> str:
+        hits = " ".join(f"H@{k}={v:.3f}" for k, v in sorted(self.hits.items()))
+        return f"{name}: MRR={self.mrr:.3f} MR={self.mean_rank:.1f} {hits}"
+
+
+def evaluate_link_prediction(
+    model: KGEModel,
+    test: TripleStore,
+    filter_stores: Sequence[TripleStore],
+    ks: Iterable[int] = (1, 3, 10),
+    both_sides: bool = True,
+    max_queries: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> LinkPredictionResult:
+    """Filtered ranking of test triples.
+
+    Parameters
+    ----------
+    model:
+        A trained scorer (energy convention: lower = better).
+    test:
+        Triples to rank.
+    filter_stores:
+        Stores whose triples are excluded from the candidate set
+        (typically train + valid + test).
+    ks:
+        Hits@k cutoffs.
+    both_sides:
+        Rank both tail replacement and head replacement (the standard
+        protocol); if False, tails only.
+    max_queries:
+        Optional subsample of the test triples (for quick benches).
+    """
+    triples = test.to_array()
+    if len(triples) == 0:
+        raise ValueError("empty test set")
+    if max_queries is not None and max_queries < len(triples):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        index = rng.choice(len(triples), size=max_queries, replace=False)
+        triples = triples[index]
+
+    ks = sorted(set(int(k) for k in ks))
+    ranks = []
+    for h, r, t in triples:
+        ranks.append(_rank(model, int(h), int(r), int(t), filter_stores, side="tail"))
+        if both_sides:
+            ranks.append(
+                _rank(model, int(h), int(r), int(t), filter_stores, side="head")
+            )
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return LinkPredictionResult(
+        mrr=float((1.0 / ranks).mean()),
+        mean_rank=float(ranks.mean()),
+        hits={k: float((ranks <= k).mean()) for k in ks},
+        num_queries=len(ranks),
+    )
+
+
+def _rank(
+    model: KGEModel,
+    head: int,
+    relation: int,
+    tail: int,
+    filter_stores: Sequence[TripleStore],
+    side: str,
+) -> int:
+    """Filtered rank of the true entity (1-based, optimistic-tie-free).
+
+    Uses the "average" tie policy: rank = 1 + (# strictly better) +
+    (# ties) / 2, which is robust to degenerate scorers.
+    """
+    if side == "tail":
+        energies = model.score_all_tails(head, relation)
+        true_id = tail
+        known = _known_tails(filter_stores, head, relation)
+    elif side == "head":
+        energies = model.score_all_heads(relation, tail)
+        true_id = head
+        known = _known_heads(filter_stores, relation, tail)
+    else:
+        raise ValueError(f"side must be 'head' or 'tail', got {side!r}")
+
+    true_energy = energies[true_id]
+    mask = np.zeros(len(energies), dtype=bool)
+    known.discard(true_id)
+    if known:
+        mask[list(known)] = True
+    candidates = np.where(~mask)[0]
+    cand_energies = energies[candidates]
+    better = int((cand_energies < true_energy).sum())
+    ties = int((cand_energies == true_energy).sum()) - 1  # exclude self
+    return 1 + better + ties // 2
+
+
+def _known_tails(stores: Sequence[TripleStore], head: int, relation: int) -> set:
+    known: set = set()
+    for store in stores:
+        known.update(store.tails(head, relation))
+    return known
+
+
+def _known_heads(stores: Sequence[TripleStore], relation: int, tail: int) -> set:
+    known: set = set()
+    for store in stores:
+        for triple in store.triples_with_tail(tail):
+            if triple.relation == relation:
+                known.add(triple.head)
+    return known

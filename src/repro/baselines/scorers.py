@@ -1,0 +1,448 @@
+"""Classic knowledge graph embedding scorers.
+
+The paper picks TransE for PKGM's triple query module "for its
+simplicity and effectiveness" and cites the translational family
+(TransH/TransR/...) and the semantic-matching family
+(RESCAL/DistMult/ComplEx) as alternatives.  We implement all of them on
+the shared autograd engine so the ablation bench can swap the triple
+scorer and validate the choice.
+
+Convention: :meth:`KGEModel.score` returns an **energy** — lower is more
+plausible — so every model trains with the same margin ranking loss and
+evaluates with the same ranking code.  Semantic matching models negate
+their similarity to fit the convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Embedding, Module, Parameter, Tensor
+from ..nn import functional as F
+from ..nn import init
+
+
+class KGEModel(Module):
+    """Base class: autograd scoring + fast numpy full-ranking paths."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if num_entities < 1 or num_relations < 1:
+            raise ValueError("need at least one entity and one relation")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+
+    def score(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        """Batched energy with autograd (training path)."""
+        raise NotImplementedError
+
+    def forward(self, heads, relations, tails):
+        return self.score(heads, relations, tails)
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """Energies of ``(head, relation, e)`` for every entity e (numpy)."""
+        raise NotImplementedError
+
+    def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
+        """Energies of ``(e, relation, tail)`` for every entity e (numpy)."""
+        raise NotImplementedError
+
+    def post_batch(self) -> None:
+        """Constraint hook invoked after each optimizer step."""
+
+
+class TransE(KGEModel):
+    """Bordes et al. 2013: ``||h + r - t||_1`` (Eq. 1 of the paper)."""
+
+    def __init__(self, num_entities, num_relations, dim, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.transe_embedding)
+        self.relations = Embedding(num_relations, dim, rng=rng, init_fn=init.transe_embedding)
+
+    def score(self, heads, relations, tails):
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        return F.l1_norm(h + r - t, axis=-1)
+
+    def score_all_tails(self, head, relation):
+        query = self.entities.weight.data[head] + self.relations.weight.data[relation]
+        return np.abs(query - self.entities.weight.data).sum(axis=1)
+
+    def score_all_heads(self, relation, tail):
+        query = self.entities.weight.data[tail] - self.relations.weight.data[relation]
+        return np.abs(self.entities.weight.data - query).sum(axis=1)
+
+    def post_batch(self):
+        self.entities.renormalize(1.0)
+
+
+class TransH(KGEModel):
+    """Wang et al. 2014: translate on relation-specific hyperplanes."""
+
+    def __init__(self, num_entities, num_relations, dim, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.transe_embedding)
+        self.relations = Embedding(num_relations, dim, rng=rng, init_fn=init.transe_embedding)
+        self.normals = Embedding(num_relations, dim, rng=rng, init_fn=init.xavier_uniform)
+
+    def _project(self, e: Tensor, w: Tensor) -> Tensor:
+        # e - (w . e) w with w unit-normalized.
+        w = F.normalize(w, axis=-1)
+        dot = (e * w).sum(axis=-1, keepdims=True)
+        return e - dot * w
+
+    def score(self, heads, relations, tails):
+        h = self.entities(heads)
+        t = self.entities(tails)
+        r = self.relations(relations)
+        w = self.normals(relations)
+        return F.l1_norm(self._project(h, w) + r - self._project(t, w), axis=-1)
+
+    def _project_np(self, e: np.ndarray, w: np.ndarray) -> np.ndarray:
+        w = w / max(np.linalg.norm(w), 1e-12)
+        return e - np.outer(e @ w, w) if e.ndim == 2 else e - (e @ w) * w
+
+    def score_all_tails(self, head, relation):
+        w = self.normals.weight.data[relation]
+        h_proj = self._project_np(self.entities.weight.data[head], w)
+        t_proj = self._project_np(self.entities.weight.data, w)
+        query = h_proj + self.relations.weight.data[relation]
+        return np.abs(query - t_proj).sum(axis=1)
+
+    def score_all_heads(self, relation, tail):
+        w = self.normals.weight.data[relation]
+        t_proj = self._project_np(self.entities.weight.data[tail], w)
+        h_proj = self._project_np(self.entities.weight.data, w)
+        query = t_proj - self.relations.weight.data[relation]
+        return np.abs(h_proj - query).sum(axis=1)
+
+    def post_batch(self):
+        self.entities.renormalize(1.0)
+
+
+class TransR(KGEModel):
+    """Lin et al. 2015: project entities into a relation space via M_r."""
+
+    def __init__(self, num_entities, num_relations, dim, relation_dim=None, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.relation_dim = relation_dim if relation_dim is not None else dim
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.transe_embedding)
+        self.relations = Embedding(
+            num_relations, self.relation_dim, rng=rng, init_fn=init.transe_embedding
+        )
+        if self.relation_dim == dim:
+            matrices = init.identity_stack(num_relations, dim, noise_std=0.01, rng=rng)
+        else:
+            matrices = init.xavier_uniform(
+                rng, (num_relations, self.relation_dim, dim)
+            )
+        self.matrices = Parameter(matrices)
+
+    def score(self, heads, relations, tails):
+        heads, relations, tails = map(np.asarray, (heads, relations, tails))
+        h = self.entities(heads)
+        t = self.entities(tails)
+        r = self.relations(relations)
+        m = self.matrices.take_rows(relations)  # (B, dr, d)
+        h_r = (m @ h.reshape(*heads.shape, self.dim, 1)).reshape(
+            *heads.shape, self.relation_dim
+        )
+        t_r = (m @ t.reshape(*tails.shape, self.dim, 1)).reshape(
+            *tails.shape, self.relation_dim
+        )
+        return F.l1_norm(h_r + r - t_r, axis=-1)
+
+    def score_all_tails(self, head, relation):
+        m = self.matrices.data[relation]
+        h_r = m @ self.entities.weight.data[head]
+        t_r = self.entities.weight.data @ m.T
+        query = h_r + self.relations.weight.data[relation]
+        return np.abs(query - t_r).sum(axis=1)
+
+    def score_all_heads(self, relation, tail):
+        m = self.matrices.data[relation]
+        t_r = m @ self.entities.weight.data[tail]
+        h_r = self.entities.weight.data @ m.T
+        query = t_r - self.relations.weight.data[relation]
+        return np.abs(h_r - query).sum(axis=1)
+
+    def post_batch(self):
+        self.entities.renormalize(1.0)
+
+
+class DistMult(KGEModel):
+    """Yang et al. 2015: energy ``-(h ∘ r) · t`` (diagonal bilinear)."""
+
+    def __init__(self, num_entities, num_relations, dim, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.xavier_uniform)
+        self.relations = Embedding(num_relations, dim, rng=rng, init_fn=init.xavier_uniform)
+
+    def score(self, heads, relations, tails):
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        return -(h * r * t).sum(axis=-1)
+
+    def score_all_tails(self, head, relation):
+        query = (
+            self.entities.weight.data[head] * self.relations.weight.data[relation]
+        )
+        return -(self.entities.weight.data @ query)
+
+    def score_all_heads(self, relation, tail):
+        query = (
+            self.entities.weight.data[tail] * self.relations.weight.data[relation]
+        )
+        return -(self.entities.weight.data @ query)
+
+
+class ComplEx(KGEModel):
+    """Trouillon et al. 2016: complex-valued bilinear scoring.
+
+    Energy ``-Re(<h, r, conj(t)>)``; embeddings stored as (real, imag)
+    pairs of width ``dim`` each.
+    """
+
+    def __init__(self, num_entities, num_relations, dim, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entities_re = Embedding(num_entities, dim, rng=rng, init_fn=init.xavier_uniform)
+        self.entities_im = Embedding(num_entities, dim, rng=rng, init_fn=init.xavier_uniform)
+        self.relations_re = Embedding(num_relations, dim, rng=rng, init_fn=init.xavier_uniform)
+        self.relations_im = Embedding(num_relations, dim, rng=rng, init_fn=init.xavier_uniform)
+
+    def score(self, heads, relations, tails):
+        h_re, h_im = self.entities_re(heads), self.entities_im(heads)
+        r_re, r_im = self.relations_re(relations), self.relations_im(relations)
+        t_re, t_im = self.entities_re(tails), self.entities_im(tails)
+        real = (
+            (h_re * r_re * t_re).sum(axis=-1)
+            + (h_im * r_re * t_im).sum(axis=-1)
+            + (h_re * r_im * t_im).sum(axis=-1)
+            - (h_im * r_im * t_re).sum(axis=-1)
+        )
+        return -real
+
+    def _tables(self):
+        return (
+            self.entities_re.weight.data,
+            self.entities_im.weight.data,
+            self.relations_re.weight.data,
+            self.relations_im.weight.data,
+        )
+
+    def score_all_tails(self, head, relation):
+        e_re, e_im, r_re_t, r_im_t = self._tables()
+        h_re, h_im = e_re[head], e_im[head]
+        r_re, r_im = r_re_t[relation], r_im_t[relation]
+        real = e_re @ (h_re * r_re - h_im * r_im) + e_im @ (h_im * r_re + h_re * r_im)
+        return -real
+
+    def score_all_heads(self, relation, tail):
+        e_re, e_im, r_re_t, r_im_t = self._tables()
+        t_re, t_im = e_re[tail], e_im[tail]
+        r_re, r_im = r_re_t[relation], r_im_t[relation]
+        real = e_re @ (r_re * t_re + r_im * t_im) + e_im @ (r_re * t_im - r_im * t_re)
+        return -real
+
+
+class RESCAL(KGEModel):
+    """Nickel et al. 2011: full bilinear form ``-(h^T W_r t)``."""
+
+    def __init__(self, num_entities, num_relations, dim, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.xavier_uniform)
+        self.matrices = Parameter(
+            init.identity_stack(num_relations, dim, noise_std=0.05, rng=rng)
+        )
+
+    def score(self, heads, relations, tails):
+        heads, relations, tails = map(np.asarray, (heads, relations, tails))
+        h = self.entities(heads)
+        t = self.entities(tails)
+        w = self.matrices.take_rows(relations)  # (B, d, d)
+        wt = (w @ t.reshape(*tails.shape, self.dim, 1)).reshape(
+            *tails.shape, self.dim
+        )
+        return -(h * wt).sum(axis=-1)
+
+    def score_all_tails(self, head, relation):
+        query = self.entities.weight.data[head] @ self.matrices.data[relation]
+        return -(self.entities.weight.data @ query)
+
+    def score_all_heads(self, relation, tail):
+        query = self.matrices.data[relation] @ self.entities.weight.data[tail]
+        return -(self.entities.weight.data @ query)
+
+
+class TransD(KGEModel):
+    """Ji et al. 2015: dynamic mapping via projection vectors.
+
+    Each entity and relation carries a projection vector; the effective
+    per-pair mapping is ``M = r_p e_p^T + I``, giving
+    ``e_perp = e + (e_p . e) r_p`` without materializing matrices.
+    """
+
+    def __init__(self, num_entities, num_relations, dim, rng=None):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.transe_embedding)
+        self.relations = Embedding(num_relations, dim, rng=rng, init_fn=init.transe_embedding)
+        self.entity_proj = Embedding(num_entities, dim, rng=rng, init_fn=init.xavier_uniform)
+        self.relation_proj = Embedding(num_relations, dim, rng=rng, init_fn=init.xavier_uniform)
+
+    def _project(self, e: Tensor, e_p: Tensor, r_p: Tensor) -> Tensor:
+        dot = (e_p * e).sum(axis=-1, keepdims=True)
+        return e + dot * r_p
+
+    def score(self, heads, relations, tails):
+        h = self.entities(heads)
+        t = self.entities(tails)
+        r = self.relations(relations)
+        h_p = self.entity_proj(heads)
+        t_p = self.entity_proj(tails)
+        r_p = self.relation_proj(relations)
+        return F.l1_norm(
+            self._project(h, h_p, r_p) + r - self._project(t, t_p, r_p), axis=-1
+        )
+
+    def _project_np(self, e, e_p, r_p):
+        dot = (e_p * e).sum(axis=-1, keepdims=True) if e.ndim == 2 else e_p @ e
+        return e + dot * r_p
+
+    def score_all_tails(self, head, relation):
+        r_p = self.relation_proj.weight.data[relation]
+        h = self.entities.weight.data[head]
+        h_proj = h + (self.entity_proj.weight.data[head] @ h) * r_p
+        all_e = self.entities.weight.data
+        all_proj = all_e + (
+            (self.entity_proj.weight.data * all_e).sum(axis=1, keepdims=True) * r_p
+        )
+        query = h_proj + self.relations.weight.data[relation]
+        return np.abs(query - all_proj).sum(axis=1)
+
+    def score_all_heads(self, relation, tail):
+        r_p = self.relation_proj.weight.data[relation]
+        t = self.entities.weight.data[tail]
+        t_proj = t + (self.entity_proj.weight.data[tail] @ t) * r_p
+        all_e = self.entities.weight.data
+        all_proj = all_e + (
+            (self.entity_proj.weight.data * all_e).sum(axis=1, keepdims=True) * r_p
+        )
+        query = t_proj - self.relations.weight.data[relation]
+        return np.abs(all_proj - query).sum(axis=1)
+
+    def post_batch(self):
+        self.entities.renormalize(1.0)
+
+
+class TranSparse(KGEModel):
+    """Ji et al. 2016: TransR with sparsity-masked projection matrices.
+
+    Relations with fewer triples get sparser matrices.  The caller
+    supplies per-relation densities via :meth:`set_densities` (the
+    trainer derives them from relation frequencies); untouched entries
+    are frozen at zero by masking.
+    """
+
+    def __init__(self, num_entities, num_relations, dim, rng=None, min_density=0.3):
+        super().__init__(num_entities, num_relations, dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if not 0.0 < min_density <= 1.0:
+            raise ValueError("min_density must be in (0, 1]")
+        self.min_density = min_density
+        self.entities = Embedding(num_entities, dim, rng=rng, init_fn=init.transe_embedding)
+        self.relations = Embedding(num_relations, dim, rng=rng, init_fn=init.transe_embedding)
+        self.matrices = Parameter(
+            init.identity_stack(num_relations, dim, noise_std=0.01, rng=rng)
+        )
+        # Default: fully dense masks (equivalent to TransR) until
+        # set_densities installs sparsity.
+        self._masks = np.ones((num_relations, dim, dim))
+        self._mask_rng = rng
+
+    def set_densities(self, relation_counts: dict) -> None:
+        """Install sparsity masks: density proportional to triple count."""
+        if not relation_counts:
+            return
+        max_count = max(relation_counts.values())
+        for relation in range(self.num_relations):
+            count = relation_counts.get(relation, 0)
+            density = self.min_density + (1 - self.min_density) * (
+                count / max_count
+            )
+            keep = self._mask_rng.random((self.dim, self.dim)) < density
+            np.fill_diagonal(keep, True)  # keep the identity backbone
+            self._masks[relation] = keep.astype(np.float64)
+        self.matrices.data = self.matrices.data * self._masks
+
+    def _masked_matrices(self, relations: np.ndarray) -> Tensor:
+        gathered = self.matrices.take_rows(relations)
+        return gathered * Tensor(self._masks[relations])
+
+    def score(self, heads, relations, tails):
+        heads, relations, tails = map(np.asarray, (heads, relations, tails))
+        h = self.entities(heads)
+        t = self.entities(tails)
+        r = self.relations(relations)
+        m = self._masked_matrices(relations)
+        h_r = (m @ h.reshape(*heads.shape, self.dim, 1)).reshape(*heads.shape, self.dim)
+        t_r = (m @ t.reshape(*tails.shape, self.dim, 1)).reshape(*tails.shape, self.dim)
+        return F.l1_norm(h_r + r - t_r, axis=-1)
+
+    def score_all_tails(self, head, relation):
+        m = self.matrices.data[relation] * self._masks[relation]
+        h_r = m @ self.entities.weight.data[head]
+        t_r = self.entities.weight.data @ m.T
+        query = h_r + self.relations.weight.data[relation]
+        return np.abs(query - t_r).sum(axis=1)
+
+    def score_all_heads(self, relation, tail):
+        m = self.matrices.data[relation] * self._masks[relation]
+        t_r = m @ self.entities.weight.data[tail]
+        h_r = self.entities.weight.data @ m.T
+        query = t_r - self.relations.weight.data[relation]
+        return np.abs(h_r - query).sum(axis=1)
+
+    def post_batch(self):
+        self.entities.renormalize(1.0)
+        # Re-apply masks: gradients may have filled zeroed entries.
+        self.matrices.data = self.matrices.data * self._masks
+
+
+SCORERS = {
+    "transe": TransE,
+    "transh": TransH,
+    "transr": TransR,
+    "transd": TransD,
+    "transparse": TranSparse,
+    "distmult": DistMult,
+    "complex": ComplEx,
+    "rescal": RESCAL,
+}
+
+
+def make_scorer(
+    name: str,
+    num_entities: int,
+    num_relations: int,
+    dim: int,
+    rng: Optional[np.random.Generator] = None,
+) -> KGEModel:
+    """Factory over :data:`SCORERS`; raises ``KeyError`` on unknown names."""
+    key = name.lower()
+    if key not in SCORERS:
+        raise KeyError(f"unknown scorer {name!r}; choose from {sorted(SCORERS)}")
+    return SCORERS[key](num_entities, num_relations, dim, rng=rng)

@@ -1,0 +1,82 @@
+"""Shared margin-loss trainer for the KGE baselines.
+
+All scorers obey the energy convention, so one trainer fits every model
+with the same loop used for PKGM (edge sampling, uniform negatives,
+Adam, per-batch constraint hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..kg import EdgeSampler, TripleStore
+from ..nn import Adam
+from ..nn import functional as F
+from .scorers import KGEModel
+
+
+@dataclass(frozen=True)
+class KGETrainerConfig:
+    """Optimization knobs shared by every baseline."""
+
+    epochs: int = 40
+    batch_size: int = 256
+    learning_rate: float = 1e-2
+    margin: float = 2.0
+    negatives_per_edge: int = 1
+    corrupt_relation_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if self.learning_rate <= 0 or self.margin <= 0:
+            raise ValueError("learning_rate and margin must be positive")
+
+
+class KGETrainer:
+    """Fits any :class:`KGEModel` with margin ranking loss."""
+
+    def __init__(self, model: KGEModel, config: Optional[KGETrainerConfig] = None) -> None:
+        self.model = model
+        self.config = config if config is not None else KGETrainerConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+
+    def train(self, store: TripleStore) -> List[float]:
+        """Train on ``store``; returns per-epoch mean losses."""
+        rng = np.random.default_rng(self.config.seed)
+        sampler = EdgeSampler.with_uniform(
+            store,
+            batch_size=self.config.batch_size,
+            num_entities=self.model.num_entities,
+            num_relations=self.model.num_relations,
+            rng=rng,
+            negatives_per_edge=self.config.negatives_per_edge,
+            corrupt_relation_prob=self.config.corrupt_relation_prob,
+        )
+        losses: List[float] = []
+        for _ in range(self.config.epochs):
+            epoch_loss, count = 0.0, 0
+            for batch in sampler.epoch():
+                self.optimizer.zero_grad()
+                pos = self._score(batch.positives)
+                total = None
+                for k in range(batch.negatives.shape[0]):
+                    neg = self._score(batch.negatives[k])
+                    term = F.margin_ranking_loss(
+                        pos, neg, margin=self.config.margin, reduction="sum"
+                    )
+                    total = term if total is None else total + term
+                total.backward()
+                self.optimizer.step()
+                self.model.post_batch()
+                epoch_loss += total.item()
+                count += len(batch)
+            losses.append(epoch_loss / max(count, 1))
+        return losses
+
+    def _score(self, triples: np.ndarray):
+        return self.model.score(triples[:, 0], triples[:, 1], triples[:, 2])

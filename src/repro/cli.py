@@ -1,0 +1,237 @@
+"""Command-line interface for the reproduction.
+
+Run the substrate pipeline and any of the paper's experiments without
+writing Python:
+
+.. code-block:: console
+
+    python -m repro.cli stats                      # Table II/III/V/IX shapes
+    python -m repro.cli pretrain --save server.npz # pre-train + export server
+    python -m repro.cli classify                   # Table IV
+    python -m repro.cli align                      # Tables VI-VII
+    python -m repro.cli recommend                  # Table VIII
+    python -m repro.cli complete                   # §II-D completion demo
+
+All commands accept ``--preset {smoke,default,bench}`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .config import ExperimentConfig, bench_config, default_config, smoke_config
+from .core import pretrain_pkgm
+from .data import (
+    build_alignment_dataset,
+    build_classification_dataset,
+    generate_interactions,
+)
+from .kg import holdout_incompleteness, kg_statistics
+from .pipeline import build_workbench
+from .tasks import (
+    ItemClassificationTask,
+    ProductAlignmentTask,
+    RecommendationTask,
+)
+
+PRESETS: Dict[str, Callable[[], ExperimentConfig]] = {
+    "smoke": smoke_config,
+    "default": default_config,
+    "bench": bench_config,
+}
+
+VARIANTS = ("base", "pkgm-t", "pkgm-r", "pkgm-all")
+
+
+def _load_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = PRESETS[args.preset]()
+    if args.seed is not None:
+        config = dataclasses.replace(
+            config,
+            seed=args.seed,
+            catalog=dataclasses.replace(config.catalog, seed=args.seed),
+        )
+    return config
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the dataset-statistics tables (II, III, V, IX shapes)."""
+    config = _load_config(args)
+    workbench = build_workbench(config, pretrain_mlm=False, verbose=args.verbose)
+    stats = kg_statistics(
+        workbench.catalog.store, workbench.catalog.entities, workbench.catalog.relations
+    )
+    print("Table II  :", stats.as_table_row())
+    dataset = build_classification_dataset(
+        workbench.catalog, workbench.titles, max_per_category=100, seed=5
+    )
+    print("Table III :", dataset.as_table_row("classification"))
+    for index, category in enumerate((0, 1, 2)):
+        alignment = build_alignment_dataset(
+            workbench.catalog,
+            workbench.titles,
+            category_id=category,
+            ranking_candidates=99,
+            seed=11 + category,
+        )
+        print(f"Table V   : {alignment.as_table_row(f'category-{index + 1}')}")
+    interactions = generate_interactions(workbench.catalog, config.interactions)
+    print("Table IX  :", interactions.as_table_row())
+    return 0
+
+
+def cmd_pretrain(args: argparse.Namespace) -> int:
+    """Pre-train PKGM and optionally export the deployable server."""
+    config = _load_config(args)
+    workbench = build_workbench(config, pretrain_mlm=False, verbose=True)
+    print(
+        f"PKGM pre-trained: margin loss "
+        f"{workbench.pkgm_history.epoch_losses[0]:.3f} -> "
+        f"{workbench.pkgm_history.final_loss:.3f}"
+    )
+    if args.save:
+        workbench.server.save(args.save)
+        print(f"server snapshot written to {args.save}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Run the Table IV experiment."""
+    config = _load_config(args)
+    workbench = build_workbench(config, verbose=args.verbose)
+    dataset = build_classification_dataset(
+        workbench.catalog, workbench.titles, max_per_category=100, seed=5
+    )
+    task = ItemClassificationTask(
+        dataset,
+        workbench.tokenizer,
+        workbench.encoder_config,
+        server=workbench.server,
+        pretrained_state=workbench.mlm_state,
+        config=config.finetune,
+    )
+    print("Table IV: variant | Hit@1 | Hit@3 | Hit@10 | AC")
+    for variant in VARIANTS:
+        print(task.run(variant).as_table_row())
+    return 0
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    """Run the Tables VI-VII experiment on one category."""
+    config = _load_config(args)
+    workbench = build_workbench(config, verbose=args.verbose)
+    dataset = build_alignment_dataset(
+        workbench.catalog,
+        workbench.titles,
+        category_id=args.category,
+        ranking_candidates=99,
+        train_samples_per_pair=4,
+        seed=11 + args.category,
+    )
+    task = ProductAlignmentTask(
+        dataset,
+        workbench.tokenizer,
+        workbench.encoder_config,
+        server=workbench.server,
+        pretrained_state=workbench.mlm_state,
+        config=config.finetune_pair,
+    )
+    print("variant | category | Hit@1 | Hit@3 | Hit@10   /   accuracy")
+    for variant in VARIANTS:
+        result = task.run(variant)
+        print(f"{result.as_hit_row()}   /   {result.as_accuracy_cell()}")
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    """Run the Table VIII experiment."""
+    config = _load_config(args)
+    workbench = build_workbench(config, pretrain_mlm=False, verbose=args.verbose)
+    interactions = generate_interactions(workbench.catalog, config.interactions)
+    entity_ids = [item.entity_id for item in workbench.catalog.items]
+    task = RecommendationTask(
+        interactions, entity_ids, server=workbench.server, config=config.ncf
+    )
+    print("Table VIII: variant | HR@1/3/5/10/30 | NDCG@1/3/5/10/30")
+    for variant in VARIANTS:
+        print(task.run(variant).as_table_row())
+    return 0
+
+
+def cmd_complete(args: argparse.Namespace) -> int:
+    """Demonstrate completion-during-service on held-out facts."""
+    config = _load_config(args)
+    workbench = build_workbench(config, pretrain_mlm=False, verbose=args.verbose)
+    observed, missing = holdout_incompleteness(
+        workbench.catalog.store, args.fraction, np.random.default_rng(7)
+    )
+    model = pretrain_pkgm(
+        observed,
+        len(workbench.catalog.entities),
+        len(workbench.catalog.relations),
+        model_config=config.pkgm,
+        trainer_config=config.pkgm_trainer,
+        seed=config.seed,
+    )
+    held = missing.to_array()
+    service = model.service_triple(held[:, 0], held[:, 1])
+    top = model.nearest_entities(service, k=10)
+    hit1 = float(np.mean([held[i, 2] == top[i][0] for i in range(len(held))]))
+    hit10 = float(np.mean([held[i, 2] in top[i] for i in range(len(held))]))
+    print(
+        f"completion on {len(held)} held-out facts ({args.fraction:.0%} of KG): "
+        f"Hit@1={hit1:.3f} Hit@10={hit10:.3f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PKGM reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--verbose", action="store_true")
+
+    common(sub.add_parser("stats", help="dataset statistics tables"))
+    pre = sub.add_parser("pretrain", help="pre-train PKGM, optionally save server")
+    common(pre)
+    pre.add_argument("--save", type=str, default=None, help="server npz path")
+    common(sub.add_parser("classify", help="Table IV experiment"))
+    align = sub.add_parser("align", help="Tables VI-VII experiment")
+    common(align)
+    align.add_argument("--category", type=int, default=0)
+    common(sub.add_parser("recommend", help="Table VIII experiment"))
+    comp = sub.add_parser("complete", help="completion-during-service demo")
+    common(comp)
+    comp.add_argument("--fraction", type=float, default=0.15)
+    return parser
+
+
+COMMANDS = {
+    "stats": cmd_stats,
+    "pretrain": cmd_pretrain,
+    "classify": cmd_classify,
+    "align": cmd_align,
+    "recommend": cmd_recommend,
+    "complete": cmd_complete,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point: dispatch to the selected subcommand."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Experiment configuration presets.
+
+One dataclass bundles every knob of the end-to-end pipeline (catalog →
+PKGM pre-training → MLM pre-training → fine-tuning), with three
+presets:
+
+* ``smoke``   — seconds; used by tests;
+* ``default`` — a couple of minutes; used by examples;
+* ``bench``   — the benchmark scale behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from typing import Optional
+
+from .core import PKGMConfig, TrainerConfig
+from .data import CatalogConfig, InteractionConfig, TitleConfig
+from .tasks import FineTuneConfig, NCFConfig
+from .text import MLMConfig, PairPretrainConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one experimental run."""
+
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    titles: TitleConfig = field(default_factory=TitleConfig)
+    pkgm: PKGMConfig = field(default_factory=lambda: PKGMConfig(dim=16))
+    pkgm_trainer: TrainerConfig = field(
+        default_factory=lambda: TrainerConfig(
+            epochs=30, batch_size=256, learning_rate=0.02, corrupt_relation_prob=0.2
+        )
+    )
+    mlm: MLMConfig = field(
+        default_factory=lambda: MLMConfig(epochs=5, batch_size=32, learning_rate=2e-3)
+    )
+    finetune: FineTuneConfig = field(default_factory=FineTuneConfig)
+    finetune_pair: FineTuneConfig = field(
+        default_factory=lambda: FineTuneConfig(
+            epochs=20, batch_size=32, learning_rate=2e-3, max_length=32
+        )
+    )
+    pair_pretrain: Optional[PairPretrainConfig] = field(
+        default_factory=lambda: PairPretrainConfig(
+            num_pairs=3000, epochs=10, max_length=32, same_category_negatives=False
+        )
+    )
+    interactions: InteractionConfig = field(default_factory=InteractionConfig)
+    ncf: NCFConfig = field(default_factory=NCFConfig)
+    key_relations: int = 5
+    encoder_dim: int = 48
+    encoder_layers: int = 2
+    encoder_heads: int = 4
+    encoder_ffn: int = 96
+    encoder_max_length: int = 24
+    seed: int = 0
+
+
+def smoke_config() -> ExperimentConfig:
+    """Tiny preset for tests: everything runs in seconds."""
+    return ExperimentConfig(
+        catalog=CatalogConfig(
+            num_categories=4,
+            products_per_category=12,
+            min_items_per_product=2,
+            max_items_per_product=3,
+            noun_pool_size=2,
+            seed=0,
+        ),
+        titles=TitleConfig(attribute_drop_probability=0.4, noun_drop_probability=0.3),
+        pkgm=PKGMConfig(dim=16),
+        pkgm_trainer=TrainerConfig(
+            epochs=15, batch_size=128, learning_rate=0.02, corrupt_relation_prob=0.2
+        ),
+        mlm=MLMConfig(epochs=2, batch_size=32, learning_rate=2e-3),
+        finetune=FineTuneConfig(epochs=6, batch_size=32, learning_rate=2e-3, max_length=16),
+        finetune_pair=FineTuneConfig(
+            epochs=8, batch_size=32, learning_rate=2e-3, max_length=24
+        ),
+        pair_pretrain=PairPretrainConfig(num_pairs=400, epochs=3, max_length=24),
+        interactions=InteractionConfig(num_users=40),
+        ncf=NCFConfig(epochs=8, batch_size=256, eval_negatives=50),
+        key_relations=4,
+        encoder_dim=32,
+        encoder_layers=2,
+        encoder_heads=4,
+        encoder_ffn=64,
+        encoder_max_length=24,
+    )
+
+
+def default_config() -> ExperimentConfig:
+    """Example-scale preset: a few minutes end to end."""
+    return ExperimentConfig(
+        catalog=CatalogConfig(
+            num_categories=10,
+            products_per_category=30,
+            min_items_per_product=2,
+            max_items_per_product=4,
+            noun_pool_size=4,
+            seed=0,
+        ),
+        titles=TitleConfig(attribute_drop_probability=0.4, noun_drop_probability=0.3),
+        pkgm=PKGMConfig(dim=24),
+        pkgm_trainer=TrainerConfig(
+            epochs=40, batch_size=256, learning_rate=0.02, corrupt_relation_prob=0.2
+        ),
+        mlm=MLMConfig(epochs=4, batch_size=64, learning_rate=2e-3),
+        finetune=FineTuneConfig(epochs=6, batch_size=32, learning_rate=2e-3, max_length=20),
+        finetune_pair=FineTuneConfig(
+            epochs=20, batch_size=32, learning_rate=2e-3, max_length=32
+        ),
+        interactions=InteractionConfig(num_users=150),
+        ncf=NCFConfig(epochs=15, batch_size=256),
+        key_relations=5,
+        encoder_dim=48,
+        encoder_layers=2,
+        encoder_heads=4,
+        encoder_ffn=96,
+        encoder_max_length=32,
+    )
+
+
+def bench_config() -> ExperimentConfig:
+    """Benchmark preset behind EXPERIMENTS.md (largest of the three)."""
+    return replace(
+        default_config(),
+        catalog=CatalogConfig(
+            num_categories=12,
+            products_per_category=40,
+            min_items_per_product=2,
+            max_items_per_product=4,
+            noun_pool_size=4,
+            seed=0,
+        ),
+        titles=TitleConfig(
+            attribute_drop_probability=0.25,
+            noun_drop_probability=0.3,
+            noise_word_count_max=2,
+        ),
+        interactions=InteractionConfig(num_users=250),
+    )

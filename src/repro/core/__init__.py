@@ -1,0 +1,29 @@
+"""PKGM core: the paper's primary contribution.
+
+Triple and relation query modules, the joint margin-loss pre-training,
+key-relation selection, and the service-vector API that downstream
+tasks consume instead of triple data.
+"""
+
+from .cache import CachedPKGMServer, CacheStats
+from .key_relations import KeyRelationSelector
+from .modules import RelationQueryModule, TripleQueryModule
+from .pkgm import PKGM, PKGMConfig
+from .service import PKGMServer, ServiceVectors
+from .trainer import PKGMTrainer, TrainerConfig, TrainingHistory, pretrain_pkgm
+
+__all__ = [
+    "CacheStats",
+    "CachedPKGMServer",
+    "KeyRelationSelector",
+    "PKGM",
+    "PKGMConfig",
+    "PKGMServer",
+    "PKGMTrainer",
+    "RelationQueryModule",
+    "ServiceVectors",
+    "TrainerConfig",
+    "TrainingHistory",
+    "TripleQueryModule",
+    "pretrain_pkgm",
+]

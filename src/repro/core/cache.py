@@ -1,0 +1,119 @@
+"""Serving-side LRU cache for PKGM service vectors.
+
+Production knowledge services sit behind caches: item service vectors
+are immutable between model refreshes, and request traffic is heavily
+skewed toward popular items.  :class:`CachedPKGMServer` wraps any
+server exposing the :class:`repro.core.PKGMServer` surface with a
+bounded LRU and hit-rate accounting, and invalidates wholesale on
+model refresh (:meth:`refresh`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .service import PKGMServer, ServiceVectors
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_row(self) -> str:
+        return (
+            f"cache {self.size}/{self.capacity} | hits {self.hits} | "
+            f"misses {self.misses} | evictions {self.evictions} | "
+            f"hit-rate {self.hit_rate:.2%}"
+        )
+
+
+class CachedPKGMServer:
+    """LRU-cached facade over a :class:`PKGMServer`.
+
+    Only :meth:`serve` results are cached (they dominate production
+    traffic); batch helpers reuse the same cache entry per item, so a
+    warm cache accelerates them too.
+    """
+
+    def __init__(self, server: PKGMServer, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._server = server
+        self._capacity = capacity
+        self._cache: "OrderedDict[int, ServiceVectors]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # PKGMServer surface
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self._server.k
+
+    @property
+    def dim(self) -> int:
+        return self._server.dim
+
+    def serve(self, entity_id: int) -> ServiceVectors:
+        entity_id = int(entity_id)
+        cached = self._cache.get(entity_id)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(entity_id)
+            return cached
+        self._misses += 1
+        vectors = self._server.serve(entity_id)
+        self._cache[entity_id] = vectors
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        return vectors
+
+    def serve_batch(self, entity_ids: Sequence[int]) -> List[ServiceVectors]:
+        return [self.serve(int(e)) for e in entity_ids]
+
+    def serve_sequence_batch(self, entity_ids: Sequence[int]) -> np.ndarray:
+        return np.stack([self.serve(int(e)).sequence() for e in entity_ids])
+
+    def serve_condensed_batch(self, entity_ids: Sequence[int]) -> np.ndarray:
+        return np.stack([self.serve(int(e)).condensed() for e in entity_ids])
+
+    def triple_service(self, heads, relations) -> np.ndarray:
+        return self._server.triple_service(heads, relations)
+
+    def relation_service(self, heads, relations) -> np.ndarray:
+        return self._server.relation_service(heads, relations)
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def refresh(self, server: PKGMServer) -> None:
+        """Swap in a newly trained server and drop every cached entry."""
+        self._server = server
+        self._cache.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+            capacity=self._capacity,
+        )

@@ -1,0 +1,77 @@
+"""Key-relation selection (paper §III-A1).
+
+"For each item in the dataset, we select 10 key relations for it
+according to its category ... we gather all items belonging to C and
+account for the frequency of properties in those items, then select
+top 10 most frequent properties as key relations."
+
+:class:`KeyRelationSelector` computes exactly that table from the KG and
+an item→category map, and answers per-item lookups during servicing.
+Categories with fewer than ``k`` observed relations are padded by
+cycling their own list (so service batches stay rectangular) — the
+padding choice is covered by tests and called out in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..kg import TripleStore
+
+
+class KeyRelationSelector:
+    """Per-category top-k relation table with per-item lookup."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        item_to_category: Mapping[int, int],
+        k: int = 10,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._item_to_category = dict(item_to_category)
+        self._table = self._build_table(store)
+
+    def _build_table(self, store: TripleStore) -> Dict[int, List[int]]:
+        frequency: Dict[int, Counter] = defaultdict(Counter)
+        for entity_id, category_id in self._item_to_category.items():
+            for triple in store.triples_with_head(entity_id):
+                frequency[category_id][triple.relation] += 1
+
+        table: Dict[int, List[int]] = {}
+        for category_id, counts in frequency.items():
+            # Sort by frequency desc, then relation id asc for determinism.
+            ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            chosen = [relation for relation, _ in ranked[: self.k]]
+            if not chosen:
+                continue
+            while len(chosen) < self.k:  # pad rare categories by cycling
+                chosen.append(chosen[len(chosen) % len(ranked)])
+            table[category_id] = chosen
+        return table
+
+    def categories(self) -> List[int]:
+        """Categories with at least one observed relation."""
+        return sorted(self._table)
+
+    def for_category(self, category_id: int) -> List[int]:
+        """The k key relation ids of ``category_id``."""
+        if category_id not in self._table:
+            raise KeyError(f"category {category_id} has no observed relations")
+        return list(self._table[category_id])
+
+    def for_item(self, entity_id: int) -> List[int]:
+        """The k key relation ids of the item's category."""
+        category_id = self._item_to_category.get(entity_id)
+        if category_id is None:
+            raise KeyError(f"entity {entity_id} is not a known item")
+        return self.for_category(category_id)
+
+    def for_items(self, entity_ids: Sequence[int]) -> np.ndarray:
+        """Key relations for a batch of items, shape (batch, k)."""
+        return np.asarray([self.for_item(e) for e in entity_ids], dtype=np.int64)

@@ -1,0 +1,220 @@
+"""The PKGM serving layer (paper §II-D and §II-E).
+
+After pre-training, downstream tasks never touch triple data — they
+receive *service vectors*:
+
+* ``k`` triple-query vectors ``S_1..S_k = S_T(item, r_j)`` — candidate
+  tail embeddings for the item's k key relations (completion included);
+* ``k`` relation-query vectors ``S_{k+1}..S_{2k} = S_R(item, r_j)`` —
+  near-zero iff the item has / should have relation ``r_j``.
+
+Two integration recipes (§II-E):
+
+* **sequence models** — append all ``2k`` vectors after the token
+  embeddings (:meth:`PKGMServer.serve` provides them stacked);
+* **single-embedding models** — condense to one vector (Eq. 8–9 /
+  Eq. 20): ``S = (1/k) Σ_j [S_j ; S_{j+k}]`` (:meth:`PKGMServer.serve_condensed`).
+
+:class:`PKGMServer` holds copies of the model parameters and the key
+relation table only — it cannot answer symbolic queries, demonstrating
+the paper's data-independence property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .key_relations import KeyRelationSelector
+from .pkgm import PKGM
+
+
+@dataclass(frozen=True)
+class ServiceVectors:
+    """Service payload for one item.
+
+    ``triple_vectors`` is (k, d) — ``S_1..S_k``;
+    ``relation_vectors`` is (k, d) — ``S_{k+1}..S_{2k}``.
+    """
+
+    entity_id: int
+    key_relations: np.ndarray
+    triple_vectors: np.ndarray
+    relation_vectors: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return len(self.key_relations)
+
+    @property
+    def dim(self) -> int:
+        return self.triple_vectors.shape[-1]
+
+    def sequence(self) -> np.ndarray:
+        """All 2k vectors in paper order (triple first), shape (2k, d)."""
+        return np.concatenate([self.triple_vectors, self.relation_vectors], axis=0)
+
+    def condensed(self) -> np.ndarray:
+        """Eq. 8–9: ``S = (1/k) Σ_j [S_j ; S_{j+k}]``, shape (2d,)."""
+        paired = np.concatenate(
+            [self.triple_vectors, self.relation_vectors], axis=1
+        )  # (k, 2d)
+        return paired.mean(axis=0)
+
+
+class PKGMServer:
+    """Serves PKGM vectors without access to the triple store.
+
+    Construction copies the embedding tables, transfer matrices and key
+    relation table out of the trained model; the store itself is *not*
+    retained (data protection / triple independence, §II-D).
+    """
+
+    def __init__(
+        self,
+        model: PKGM,
+        selector: KeyRelationSelector,
+    ) -> None:
+        self.dim = model.config.dim
+        self.k = selector.k
+        self.num_entities = model.num_entities
+        self.num_relations = model.num_relations
+        # Snapshot parameters: the server must keep working even if the
+        # model is further trained or discarded.
+        self._entity_table = model.triple_module.entity_embeddings.weight.data.copy()
+        self._relation_table = (
+            model.triple_module.relation_embeddings.weight.data.copy()
+        )
+        self._transfer = model.relation_module.transfer_matrices.data.copy()
+        self._selector = selector
+
+    # ------------------------------------------------------------------
+    # Raw module services for arbitrary (h, r)
+    # ------------------------------------------------------------------
+    def triple_service(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """``S_T(h, r) = h + r`` on the snapshot."""
+        heads, relations = np.asarray(heads), np.asarray(relations)
+        return self._entity_table[heads] + self._relation_table[relations]
+
+    def relation_service(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """``S_R(h, r) = M_r h - r`` on the snapshot."""
+        heads, relations = np.asarray(heads), np.asarray(relations)
+        h = self._entity_table[heads]
+        transformed = np.einsum("...ij,...j->...i", self._transfer[relations], h)
+        return transformed - self._relation_table[relations]
+
+    # ------------------------------------------------------------------
+    # Item-level service with key relations
+    # ------------------------------------------------------------------
+    def serve(self, entity_id: int) -> ServiceVectors:
+        """All 2k service vectors for one item."""
+        relations = np.asarray(self._selector.for_item(entity_id), dtype=np.int64)
+        heads = np.full(len(relations), entity_id, dtype=np.int64)
+        return ServiceVectors(
+            entity_id=entity_id,
+            key_relations=relations,
+            triple_vectors=self.triple_service(heads, relations),
+            relation_vectors=self.relation_service(heads, relations),
+        )
+
+    def serve_batch(self, entity_ids: Sequence[int]) -> List[ServiceVectors]:
+        """Service vectors for a batch of items."""
+        return [self.serve(int(e)) for e in entity_ids]
+
+    def serve_sequence_batch(self, entity_ids: Sequence[int]) -> np.ndarray:
+        """Sequence-model payload: (batch, 2k, d) in paper order."""
+        relations = self._selector.for_items(entity_ids)  # (B, k)
+        heads = np.repeat(
+            np.asarray(entity_ids, dtype=np.int64)[:, None], self.k, axis=1
+        )
+        triple = self.triple_service(heads, relations)  # (B, k, d)
+        relation = self.relation_service(heads, relations)  # (B, k, d)
+        return np.concatenate([triple, relation], axis=1)
+
+    def serve_condensed_batch(self, entity_ids: Sequence[int]) -> np.ndarray:
+        """Single-embedding payload (Eq. 20): (batch, 2d)."""
+        relations = self._selector.for_items(entity_ids)
+        heads = np.repeat(
+            np.asarray(entity_ids, dtype=np.int64)[:, None], self.k, axis=1
+        )
+        triple = self.triple_service(heads, relations)  # (B, k, d)
+        relation = self.relation_service(heads, relations)  # (B, k, d)
+        paired = np.concatenate([triple, relation], axis=2)  # (B, k, 2d)
+        return paired.mean(axis=1)
+
+    def relation_existence_score(self, entity_id: int, relation: int) -> float:
+        """L1 norm of ``S_R`` — small means (should) EXIST (§II-D)."""
+        score = self.relation_service(
+            np.asarray([entity_id]), np.asarray([relation])
+        )
+        return float(np.abs(score).sum())
+
+    # ------------------------------------------------------------------
+    # Deployment: persist / restore the snapshot
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the full service snapshot to one compressed npz file.
+
+        The saved artifact is exactly what a production deployment needs:
+        the embedding tables, transfer matrices, and the per-item key
+        relation assignments — no triple data, no training code.
+        """
+        item_ids = sorted(self._selector._item_to_category)
+        key_table = np.asarray(
+            [self._selector.for_item(item) for item in item_ids], dtype=np.int64
+        )
+        np.savez_compressed(
+            Path(path),
+            entity_table=self._entity_table,
+            relation_table=self._relation_table,
+            transfer=self._transfer,
+            item_ids=np.asarray(item_ids, dtype=np.int64),
+            key_relations=key_table,
+            k=np.asarray([self.k]),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PKGMServer":
+        """Restore a server saved by :meth:`save` (no model required)."""
+        with np.load(Path(path)) as data:
+            server = cls.__new__(cls)
+            server._entity_table = data["entity_table"]
+            server._relation_table = data["relation_table"]
+            server._transfer = data["transfer"]
+            server.k = int(data["k"][0])
+            server.dim = server._entity_table.shape[1]
+            server.num_entities = server._entity_table.shape[0]
+            server.num_relations = server._relation_table.shape[0]
+            server._selector = _FrozenSelector(
+                dict(
+                    zip(
+                        (int(i) for i in data["item_ids"]),
+                        (list(map(int, row)) for row in data["key_relations"]),
+                    )
+                ),
+                server.k,
+            )
+        return server
+
+
+class _FrozenSelector:
+    """Key-relation lookup restored from a saved snapshot.
+
+    Implements the subset of :class:`KeyRelationSelector` the server
+    uses (``k``, ``for_item``, ``for_items``).
+    """
+
+    def __init__(self, table: Dict[int, List[int]], k: int) -> None:
+        self._table = table
+        self.k = k
+
+    def for_item(self, entity_id: int) -> List[int]:
+        if entity_id not in self._table:
+            raise KeyError(f"entity {entity_id} is not a known item")
+        return list(self._table[entity_id])
+
+    def for_items(self, entity_ids: Sequence[int]) -> np.ndarray:
+        return np.asarray([self.for_item(int(e)) for e in entity_ids], dtype=np.int64)

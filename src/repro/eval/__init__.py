@@ -1,0 +1,23 @@
+"""Metrics and ranking protocols shared by the three downstream tasks."""
+
+from .metrics import (
+    accuracy,
+    hit_ratio_at_k,
+    hits_at_k,
+    label_ranks,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    rank_of_positive,
+    ranking_metrics,
+)
+
+__all__ = [
+    "accuracy",
+    "hit_ratio_at_k",
+    "hits_at_k",
+    "label_ranks",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "rank_of_positive",
+    "ranking_metrics",
+]

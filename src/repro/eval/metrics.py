@@ -1,0 +1,114 @@
+"""Evaluation metrics used across the paper's three tasks.
+
+* item classification (Table IV): accuracy + Hit@k over the rank of the
+  correct label among all category logits;
+* product alignment (Tables VI–VII): accuracy + Hit@k over 100-candidate
+  ranking;
+* recommendation (Table VIII): HR@k and NDCG@k over 101-candidate
+  leave-one-out ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("empty prediction array")
+    return float((predictions == labels).mean())
+
+
+def label_ranks(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """1-based rank of the correct label within each row of logits.
+
+    This is the paper's classification Hit@k protocol: "we calculate
+    Hit@k by getting the rank of the correct label as its predicting
+    category rank".  Ties are counted optimistically-averaged
+    (1 + #strictly-better + #ties/2).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+    if len(labels) != len(logits):
+        raise ValueError("labels length mismatch")
+    true_scores = logits[np.arange(len(logits)), labels]
+    better = (logits > true_scores[:, None]).sum(axis=1)
+    ties = (logits == true_scores[:, None]).sum(axis=1) - 1
+    return 1 + better + ties // 2
+
+
+def hits_at_k(ranks: Sequence[int], k: int) -> float:
+    """Fraction of ranks <= k."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("empty ranks")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float((ranks <= k).mean())
+
+
+def hit_ratio_at_k(ranks: Sequence[int], k: int) -> float:
+    """HR@k — identical formula to Hits@k, named per the NCF paper."""
+    return hits_at_k(ranks, k)
+
+
+def ndcg_at_k(ranks: Sequence[int], k: int) -> float:
+    """NDCG@k with a single relevant item per query.
+
+    With one positive, DCG = 1/log2(rank+1) when rank <= k else 0, and
+    the ideal DCG is 1 — the standard NCF evaluation formula.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise ValueError("empty ranks")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(gains.mean())
+
+
+def mean_reciprocal_rank(ranks: Sequence[int]) -> float:
+    """MRR of 1-based ranks."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise ValueError("empty ranks")
+    return float((1.0 / ranks).mean())
+
+
+def ranking_metrics(
+    ranks: Sequence[int], ks: Iterable[int] = (1, 3, 5, 10, 30)
+) -> Dict[str, float]:
+    """HR@k and NDCG@k for every cutoff, as one flat dict."""
+    out: Dict[str, float] = {}
+    for k in ks:
+        out[f"HR@{k}"] = hit_ratio_at_k(ranks, k)
+        out[f"NDCG@{k}"] = ndcg_at_k(ranks, k)
+    return out
+
+
+def rank_of_positive(scores: np.ndarray, positive_index: int = 0) -> int:
+    """1-based rank of one candidate among scores (higher = better).
+
+    Used for alignment and recommendation ranking: the positive's score
+    is compared against all candidates'; ties are averaged.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError("scores must be a non-empty 1-D array")
+    if not 0 <= positive_index < len(scores):
+        raise IndexError("positive_index out of range")
+    target = scores[positive_index]
+    better = int((scores > target).sum())
+    ties = int((scores == target).sum()) - 1
+    return 1 + better + ties // 2

@@ -1,0 +1,57 @@
+"""Knowledge graph substrate: storage, queries, sampling, splitting, stats.
+
+This package replaces the symbolic side of Alibaba's product KG
+infrastructure: the indexed triple store, the two query services of
+§II, the Graph-learn edge sampler, negative sampling, and dataset
+splits including the incompleteness hold-out used to test PKGM's
+completion-during-service capability.
+"""
+
+from .graph import (
+    connected_component_sizes,
+    degree_statistics,
+    shared_value_neighbors,
+    to_networkx,
+)
+from .negatives import BernoulliNegativeSampler, UniformNegativeSampler
+from .queries import (
+    QueryEngine,
+    RelationQueryResult,
+    TripleQueryResult,
+    recover_all_triples,
+)
+from .rules import Rule, RuleCompleter, RuleMiner
+from .sampling import EdgeBatch, EdgeSampler
+from .splits import TripleSplit, holdout_incompleteness, split_triples
+from .stats import KGStatistics, kg_statistics, relation_frequency_table
+from .store import Triple, TripleStore
+from .vocab import EntityVocabulary, RelationVocabulary, Vocabulary
+
+__all__ = [
+    "BernoulliNegativeSampler",
+    "EdgeBatch",
+    "EdgeSampler",
+    "EntityVocabulary",
+    "KGStatistics",
+    "QueryEngine",
+    "RelationQueryResult",
+    "RelationVocabulary",
+    "Rule",
+    "RuleCompleter",
+    "RuleMiner",
+    "Triple",
+    "TripleQueryResult",
+    "TripleSplit",
+    "TripleStore",
+    "UniformNegativeSampler",
+    "connected_component_sizes",
+    "degree_statistics",
+    "shared_value_neighbors",
+    "to_networkx",
+    "Vocabulary",
+    "holdout_incompleteness",
+    "kg_statistics",
+    "recover_all_triples",
+    "relation_frequency_table",
+    "split_triples",
+]

@@ -1,0 +1,155 @@
+"""Attribute-implication rule mining (AMIE-lite).
+
+The production PKG holds "3+ million rules" alongside its triples.  At
+product-KG scale the dominant rule shape is the attribute implication
+
+    r1(x, v1)  =>  r2(x, v2)
+
+("seriesIs nova-3 implies brandIs kainor"): sellers fill series and
+brand together, so value co-occurrence mined from the graph predicts
+missing attributes.  This module mines such rules with the standard
+support/confidence thresholds and applies them for symbolic KG
+completion — the baseline PKGM's vector-space completion is compared
+against in ``bench_ablation_rules.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .store import TripleStore
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``(body_relation, body_value) => (head_relation, head_value)``."""
+
+    body_relation: int
+    body_value: int
+    head_relation: int
+    head_value: int
+    support: int
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"({self.body_relation}, {self.body_value}) => "
+            f"({self.head_relation}, {self.head_value}) "
+            f"[support={self.support}, confidence={self.confidence:.2f}]"
+        )
+
+
+class RuleMiner:
+    """Mines attribute-implication rules from a product KG.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of items satisfying body AND head.
+    min_confidence:
+        Minimum P(head | body).
+    """
+
+    def __init__(self, min_support: int = 3, min_confidence: float = 0.7) -> None:
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0, 1]")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+
+    def mine(self, store: TripleStore) -> List[Rule]:
+        """Return all rules meeting the thresholds, best-confidence first.
+
+        Complexity is O(sum over items of deg^2): for each item, every
+        ordered pair of its (relation, value) facts votes for one
+        candidate rule.
+        """
+        body_counts: Counter = Counter()
+        pair_counts: Counter = Counter()
+        for head in store.heads():
+            facts = [
+                (triple.relation, triple.tail)
+                for triple in store.triples_with_head(head)
+            ]
+            for body in facts:
+                body_counts[body] += 1
+            for body in facts:
+                for conclusion in facts:
+                    if body == conclusion or body[0] == conclusion[0]:
+                        continue  # no self- or same-relation rules
+                    pair_counts[(body, conclusion)] += 1
+
+        rules: List[Rule] = []
+        for (body, conclusion), support in pair_counts.items():
+            if support < self.min_support:
+                continue
+            confidence = support / body_counts[body]
+            if confidence < self.min_confidence:
+                continue
+            rules.append(
+                Rule(
+                    body_relation=body[0],
+                    body_value=body[1],
+                    head_relation=conclusion[0],
+                    head_value=conclusion[1],
+                    support=support,
+                    confidence=confidence,
+                )
+            )
+        rules.sort(key=lambda r: (-r.confidence, -r.support, r.body_relation))
+        return rules
+
+
+class RuleCompleter:
+    """Applies mined rules to infer missing triples.
+
+    For a query ``(item, relation, ?)`` every rule whose body matches
+    one of the item's facts and whose head relation equals ``relation``
+    votes for its head value with weight = confidence; candidates are
+    returned best first.
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self._by_head_relation: Dict[int, List[Rule]] = defaultdict(list)
+        count = 0
+        for rule in rules:
+            self._by_head_relation[rule.head_relation].append(rule)
+            count += 1
+        self.num_rules = count
+
+    def predict(
+        self, store: TripleStore, item: int, relation: int, top_k: int = 3
+    ) -> List[Tuple[int, float]]:
+        """Ranked ``(value, score)`` predictions for ``(item, relation, ?)``."""
+        facts: Set[Tuple[int, int]] = {
+            (triple.relation, triple.tail)
+            for triple in store.triples_with_head(item)
+        }
+        votes: Dict[int, float] = defaultdict(float)
+        for rule in self._by_head_relation.get(relation, ()):
+            if (rule.body_relation, rule.body_value) in facts:
+                votes[rule.head_value] += rule.confidence
+        ranked = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top_k]
+
+    def complete_store(
+        self, store: TripleStore, min_score: float = 0.7
+    ) -> TripleStore:
+        """Materialize inferred triples above ``min_score``.
+
+        Only fills (item, relation) slots that are empty in ``store``,
+        mirroring how the production system repairs incomplete listings.
+        """
+        completed = TripleStore((t.head, t.relation, t.tail) for t in store)
+        for item in store.heads():
+            have = store.relations_of(item)
+            for relation in self._by_head_relation:
+                if relation in have:
+                    continue
+                predictions = self.predict(store, item, relation, top_k=1)
+                if predictions and predictions[0][1] >= min_score:
+                    completed.add(item, relation, predictions[0][0])
+        return completed

@@ -1,0 +1,122 @@
+"""Train/valid/test splitting and incompleteness hold-outs.
+
+Two distinct splitting needs:
+
+* :func:`split_triples` — the usual train/valid/test partition for link
+  prediction evaluation of the KGE substrate.
+* :func:`holdout_incompleteness` — removes a fraction of *true* triples
+  from the training KG entirely, simulating the incompleteness of the
+  real product KG.  PKGM's claimed completion-during-service capability
+  (§II-D) is evaluated by asking the service for exactly these held-out
+  facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .store import TripleStore
+
+
+@dataclass(frozen=True)
+class TripleSplit:
+    """A train/valid/test partition of a triple set."""
+
+    train: TripleStore
+    valid: TripleStore
+    test: TripleStore
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train), len(self.valid), len(self.test))
+
+
+def split_triples(
+    store: TripleStore,
+    valid_fraction: float,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> TripleSplit:
+    """Random split with every entity/relation kept in train when possible.
+
+    A naive random split can put all triples of a rare entity into the
+    test set, making it untrainable.  We first reserve, for each entity
+    and each relation, one covering triple in train, then split the rest.
+    """
+    if valid_fraction < 0 or test_fraction < 0 or valid_fraction + test_fraction >= 1:
+        raise ValueError("fractions must be nonnegative and sum below 1")
+    triples = store.to_array()
+    n = len(triples)
+    if n == 0:
+        raise ValueError("cannot split an empty store")
+
+    reserved = _covering_indices(store, triples)
+    free = np.setdiff1d(np.arange(n), reserved)
+    free = free[rng.permutation(len(free))]
+
+    n_valid = int(round(n * valid_fraction))
+    n_test = int(round(n * test_fraction))
+    n_valid = min(n_valid, len(free))
+    n_test = min(n_test, len(free) - n_valid)
+
+    valid_idx = free[:n_valid]
+    test_idx = free[n_valid : n_valid + n_test]
+    train_idx = np.concatenate([reserved, free[n_valid + n_test :]])
+
+    return TripleSplit(
+        train=TripleStore(map(tuple, triples[np.sort(train_idx)])),
+        valid=TripleStore(map(tuple, triples[np.sort(valid_idx)])),
+        test=TripleStore(map(tuple, triples[np.sort(test_idx)])),
+    )
+
+
+def holdout_incompleteness(
+    store: TripleStore,
+    fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[TripleStore, TripleStore]:
+    """Split into (observed, missing) to simulate KG incompleteness.
+
+    ``missing`` contains true facts the platform never recorded; the
+    PKGM completion benches check that ``S_T(h, r)`` still ranks the
+    held-out tail highly even though the triple was never trained on.
+    Heads that would lose *all* their triples keep at least one, so
+    every item remains connected.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    triples = store.to_array()
+    n = len(triples)
+    per_head_seen: dict = {}
+    keep_one = np.zeros(n, dtype=bool)
+    for i, (h, _, _) in enumerate(triples):
+        if h not in per_head_seen:
+            per_head_seen[h] = i
+            keep_one[i] = True
+
+    candidates = np.where(~keep_one)[0]
+    n_missing = int(round(n * fraction))
+    n_missing = min(n_missing, len(candidates))
+    chosen = rng.choice(candidates, size=n_missing, replace=False)
+    missing_mask = np.zeros(n, dtype=bool)
+    missing_mask[chosen] = True
+
+    observed = TripleStore(map(tuple, triples[~missing_mask]))
+    missing = TripleStore(map(tuple, triples[missing_mask]))
+    return observed, missing
+
+
+def _covering_indices(store: TripleStore, triples: np.ndarray) -> np.ndarray:
+    """One triple index per entity and per relation, greedily chosen."""
+    covered_entities: set = set()
+    covered_relations: set = set()
+    chosen = []
+    for i, (h, r, t) in enumerate(triples):
+        if h not in covered_entities or t not in covered_entities or r not in covered_relations:
+            chosen.append(i)
+            covered_entities.add(h)
+            covered_entities.add(t)
+            covered_relations.add(r)
+    return np.asarray(chosen, dtype=np.int64)

@@ -1,0 +1,61 @@
+"""From-scratch numpy neural-network substrate.
+
+Substitutes TensorFlow in the original PKGM implementation: a
+reverse-mode autograd :class:`Tensor`, layers, a transformer encoder,
+and the optimizers the paper uses.
+"""
+
+from . import functional, init
+from .attention import MultiHeadAttention
+from .gradcheck import check_gradients, numeric_gradient
+from .layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, Parameter
+from .optim import SGD, Adam, AdamW, Optimizer, WarmupLinearSchedule
+from .tensor import Tensor, concat, ensure_tensor, ones, stack, where, zeros
+from .transformer import TransformerConfig, TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "Dropout",
+    "Embedding",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "MultiHeadAttention",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "TransformerConfig",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "WarmupLinearSchedule",
+    "check_gradients",
+    "concat",
+    "ensure_tensor",
+    "functional",
+    "init",
+    "numeric_gradient",
+    "ones",
+    "stack",
+    "where",
+    "zeros",
+]

@@ -1,0 +1,103 @@
+"""Multi-head self-attention for the mini-BERT encoder.
+
+Implements scaled dot-product attention with an additive mask, exactly
+the mechanism of the BERT base model used in the paper's downstream
+experiments (we shrink the width/depth, not the math).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product self-attention.
+
+    Parameters
+    ----------
+    dim:
+        Model width; must be divisible by ``num_heads``.
+    num_heads:
+        Number of attention heads.
+    dropout:
+        Dropout rate applied to attention probabilities.
+    rng:
+        Generator for weight initialization and dropout masks.
+    tie_qk_init:
+        Initialize the key projection identically to the query
+        projection (they remain independent trainable parameters).
+        With ``W_q = W_k = W`` the pre-softmax score of two positions is
+        ``(Wx)·(Wy)`` — a positive-definite kernel maximized when the
+        positions hold the same token.  This *matching-aware
+        initialization* is what lets a small encoder learn cross-segment
+        lexical matching (paraphrase/alignment) from little data; large
+        pre-trained models acquire the same behaviour from scale.
+    qk_init_scale:
+        Multiplier on the tied q/k weights so the matching signal
+        dominates the softmax at initialization.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        tie_qk_init: bool = False,
+        qk_init_scale: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        if tie_qk_init:
+            self.query.weight.data = self.query.weight.data * qk_init_scale
+            self.key.weight.data = self.query.weight.data.copy()
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend over ``x`` of shape (batch, seq, dim).
+
+        ``attention_mask`` is 1 for real tokens and 0 for padding, shape
+        (batch, seq); padded key positions receive -inf-like bias so they
+        get zero attention weight.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=np.float64)
+            if mask.shape != (batch, seq):
+                raise ValueError(
+                    f"attention_mask shape {mask.shape} != ({batch}, {seq})"
+                )
+            # (batch, 1, 1, seq): broadcast over heads and query positions.
+            bias = (1.0 - mask)[:, None, None, :] * -1e9
+            scores = scores + bias
+
+        probs = F.softmax(scores, axis=-1)
+        probs = self.attn_dropout(probs)
+        context = probs @ v  # (batch, heads, seq, head_dim)
+        merged = context.swapaxes(1, 2).reshape(batch, seq, self.dim)
+        return self.out(merged)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """(batch, seq, dim) -> (batch, heads, seq, head_dim)."""
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).swapaxes(1, 2)

@@ -1,0 +1,169 @@
+"""Optimizers for the numpy autograd engine.
+
+The paper trains PKGM with Adam (lr 1e-4) and fine-tunes BERT with Adam
+(lr 2e-5); NCF uses minibatch Adam.  We provide SGD (with momentum),
+Adam, and AdamW, plus gradient clipping and a simple warmup scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+        Returns the pre-clipping norm.
+        """
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float((param.grad**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                vel = self.momentum * vel + grad if vel is not None else grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — the optimizer used throughout the paper."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                # L2-style decay folded into the gradient (classic Adam).
+                grad = grad + self.weight_decay * param.data
+            key = id(param)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            m = self.beta1 * m + (1 - self.beta1) * grad if m is not None else (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2 if v is not None else (1 - self.beta2) * grad**2
+            self._m[key], self._v[key] = m, v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def step(self) -> None:
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            if decay:
+                for param in self.parameters:
+                    if param.grad is not None:
+                        param.data = param.data * (1.0 - self.lr * decay)
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+class WarmupLinearSchedule:
+    """Linear warmup then linear decay, as used for BERT fine-tuning.
+
+    Call :meth:`step` once per optimizer step; it mutates ``optimizer.lr``.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps]")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        self._step_count += 1
+        t = self._step_count
+        if self.warmup_steps and t <= self.warmup_steps:
+            factor = t / self.warmup_steps
+        else:
+            remaining = max(self.total_steps - t, 0)
+            denom = max(self.total_steps - self.warmup_steps, 1)
+            factor = remaining / denom
+        self.optimizer.lr = self.base_lr * factor
+        return self.optimizer.lr

@@ -1,0 +1,99 @@
+"""Transformer encoder stack (the body of the mini-BERT substitute).
+
+The paper fine-tunes Google's pre-trained Chinese BERT-base
+(12 layers / hidden 768 / 12 heads).  Pre-trained checkpoints cannot be
+downloaded in this environment, so :mod:`repro.text` instantiates this
+encoder at a smaller width and pre-trains it with masked language
+modeling on the synthetic title corpus — same architecture family,
+laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .layers import Dropout, GELU, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyperparameters of the encoder stack.
+
+    Defaults give a small but non-trivial encoder that trains in seconds
+    on synthetic data; the paper's BERT-base corresponds to
+    ``dim=768, num_layers=12, num_heads=12, ffn_dim=3072``.
+    """
+
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_dim: int = 128
+    dropout: float = 0.1
+    tie_qk_init: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads != 0:
+            raise ValueError(
+                f"dim {self.dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm transformer block: attention + FFN, each with residual."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.attention = MultiHeadAttention(
+            config.dim,
+            config.num_heads,
+            dropout=config.dropout,
+            rng=rng,
+            tie_qk_init=config.tie_qk_init,
+        )
+        self.attn_norm = LayerNorm(config.dim)
+        self.ffn_in = Linear(config.dim, config.ffn_dim, rng=rng)
+        self.ffn_act = GELU()
+        self.ffn_out = Linear(config.ffn_dim, config.dim, rng=rng)
+        self.ffn_norm = LayerNorm(config.dim)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask)
+        x = self.attn_norm(x + self.dropout(attended))
+        ffn = self.ffn_out(self.ffn_act(self.ffn_in(x)))
+        return self.ffn_norm(x + self.dropout(ffn))
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer`.
+
+    Input embeddings (token + position + segment) are produced by the
+    caller; this module only applies the encoder blocks.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.config = config
+        self._layer_names: List[str] = []
+        for i in range(config.num_layers):
+            name = f"block{i}"
+            self.add_module(name, TransformerEncoderLayer(config, rng))
+            self._layer_names.append(name)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        for name in self._layer_names:
+            x = self._modules[name](x, attention_mask=attention_mask)
+        return x

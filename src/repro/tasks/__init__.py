@@ -1,0 +1,32 @@
+"""The paper's three downstream tasks, each with Base and PKGM variants.
+
+* :mod:`repro.tasks.classification` — item classification (Table IV);
+* :mod:`repro.tasks.alignment` — product alignment (Tables VI–VII);
+* :mod:`repro.tasks.recommendation` — NCF recommendation (Table VIII).
+"""
+
+from .alignment import AlignmentResult, ProductAlignmentTask
+from .attribute_prediction import AttributePredictionResult, AttributePredictionTask
+from .classification import ClassificationResult, ItemClassificationTask
+from .common import FineTuneConfig, minibatches
+from .recommendation import (
+    NCF,
+    NCFConfig,
+    RecommendationResult,
+    RecommendationTask,
+)
+
+__all__ = [
+    "AlignmentResult",
+    "AttributePredictionResult",
+    "AttributePredictionTask",
+    "ClassificationResult",
+    "FineTuneConfig",
+    "ItemClassificationTask",
+    "NCF",
+    "NCFConfig",
+    "ProductAlignmentTask",
+    "RecommendationResult",
+    "RecommendationTask",
+    "minibatches",
+]

@@ -1,0 +1,202 @@
+"""Product alignment task (paper §III-C, Tables VI–VII).
+
+Fine-tunes the mini-BERT pair classifier on labelled title pairs per
+category, in the same four variants.  Two evaluations:
+
+* accuracy on the classification split (Table VII);
+* Hit@{1,3,10} on the ranking split (Table VI): each aligned pair is
+  scored against its 99 corrupted candidates and the true pair's rank
+  among the 100 is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import PKGMServer
+from ..data import AlignmentDataset, AlignmentPair, RankingCase
+from ..eval import accuracy, hits_at_k, rank_of_positive
+from ..nn import Adam
+from ..nn import functional as F
+from ..text import (
+    MiniBert,
+    MiniBertConfig,
+    PairClassifier,
+    WordTokenizer,
+    pair_service_payload,
+    pair_service_segment_ids,
+    validate_variant,
+)
+from .common import FineTuneConfig, minibatches
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """One (method, dataset) block of Tables VI and VII."""
+
+    variant: str
+    category_name: str
+    accuracy: float
+    hits: Dict[int, float]
+
+    def as_hit_row(self) -> str:
+        hit_cols = " | ".join(f"{100 * self.hits[k]:.2f}" for k in sorted(self.hits))
+        return f"{self.variant} | {self.category_name} | {hit_cols}"
+
+    def as_accuracy_cell(self) -> str:
+        return f"{100 * self.accuracy:.2f}"
+
+
+class ProductAlignmentTask:
+    """Runs alignment fine-tuning and both evaluations for one category."""
+
+    def __init__(
+        self,
+        dataset: AlignmentDataset,
+        tokenizer: WordTokenizer,
+        encoder_config: MiniBertConfig,
+        server: Optional[PKGMServer] = None,
+        pretrained_state: Optional[dict] = None,
+        config: Optional[FineTuneConfig] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.tokenizer = tokenizer
+        self.encoder_config = encoder_config
+        self.server = server
+        self.pretrained_state = pretrained_state
+        self.config = config if config is not None else FineTuneConfig()
+
+    # ------------------------------------------------------------------
+    def run(self, variant: str, eval_split: str = "test") -> AlignmentResult:
+        """Fine-tune one variant; evaluate accuracy and ranking Hit@k."""
+        variant = validate_variant(variant)
+        if variant != "base" and self.server is None:
+            raise ValueError(f"variant {variant!r} requires a PKGM server")
+        rng = np.random.default_rng(self.config.seed)
+
+        encoder = MiniBert(self.encoder_config, rng=rng)
+        if self.pretrained_state is not None:
+            encoder.load_state_dict(self.pretrained_state)
+        model = PairClassifier(encoder, rng=rng)
+
+        ids, mask, seg, labels, service, service_seg = self._encode_pairs(
+            self.dataset.train, variant
+        )
+        optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        n = len(labels)
+        for _ in range(self.config.epochs):
+            for index in minibatches(n, self.config.batch_size, rng):
+                optimizer.zero_grad()
+                logits = model(
+                    ids[index],
+                    attention_mask=mask[index],
+                    segment_ids=seg[index],
+                    service_vectors=None if service is None else service[index],
+                    service_segment_ids=None if service_seg is None else service_seg[index],
+                )
+                loss = F.binary_cross_entropy_with_logits(logits, labels[index])
+                loss.backward()
+                optimizer.step()
+
+        return self.evaluate(model, variant, eval_split)
+
+    def evaluate(
+        self, model: PairClassifier, variant: str, eval_split: str = "test"
+    ) -> AlignmentResult:
+        """Accuracy on the -C split and Hit@k on the -R split."""
+        pairs, cases = self._splits(eval_split)
+        acc = self._classification_accuracy(model, pairs, variant)
+        ranks = [self._rank_case(model, case, variant) for case in cases]
+        return AlignmentResult(
+            variant=variant,
+            category_name=self.dataset.category_name,
+            accuracy=acc,
+            hits={k: hits_at_k(ranks, k) for k in (1, 3, 10)},
+        )
+
+    def run_all_variants(
+        self, variants: Sequence[str] = ("base", "pkgm-t", "pkgm-r", "pkgm-all")
+    ) -> List[AlignmentResult]:
+        """One category's block of Tables VI-VII."""
+        return [self.run(v) for v in variants]
+
+    # ------------------------------------------------------------------
+    def _classification_accuracy(
+        self, model: PairClassifier, pairs: Sequence[AlignmentPair], variant: str
+    ) -> float:
+        ids, mask, seg, labels, service, service_seg = self._encode_pairs(pairs, variant)
+        probs = []
+        for start in range(0, len(labels), self.config.batch_size):
+            chunk = slice(start, start + self.config.batch_size)
+            probs.append(
+                model.predict_proba(
+                    ids[chunk],
+                    attention_mask=mask[chunk],
+                    segment_ids=seg[chunk],
+                    service_vectors=None if service is None else service[chunk],
+                    service_segment_ids=None if service_seg is None else service_seg[chunk],
+                )
+            )
+        predictions = (np.concatenate(probs) >= 0.5).astype(np.int64)
+        return accuracy(predictions, labels.astype(np.int64))
+
+    def _rank_case(self, model: PairClassifier, case: RankingCase, variant: str) -> int:
+        candidates = [case.positive] + list(case.candidates)
+        ids, mask, seg, _, service, service_seg = self._encode_pairs(candidates, variant)
+        scores = []
+        for start in range(0, len(candidates), self.config.batch_size):
+            chunk = slice(start, start + self.config.batch_size)
+            scores.append(
+                model.predict_logits(
+                    ids[chunk],
+                    attention_mask=mask[chunk],
+                    segment_ids=seg[chunk],
+                    service_vectors=None if service is None else service[chunk],
+                    service_segment_ids=None if service_seg is None else service_seg[chunk],
+                )
+            )
+        return rank_of_positive(np.concatenate(scores), positive_index=0)
+
+    def _splits(self, name: str) -> Tuple[List[AlignmentPair], List[RankingCase]]:
+        if name == "test":
+            return self.dataset.test_c, self.dataset.test_r
+        if name == "dev":
+            return self.dataset.dev_c, self.dataset.dev_r
+        if name == "all":
+            # Combined held-out evaluation: at synthetic scale the per-split
+            # case counts are small, so benches pool test + dev to cut
+            # variance (both are untouched by training).
+            return (
+                self.dataset.test_c + self.dataset.dev_c,
+                self.dataset.test_r + self.dataset.dev_r,
+            )
+        raise ValueError(f"unknown split {name!r}")
+
+    def _encode_pairs(
+        self, pairs: Sequence[AlignmentPair], variant: str
+    ) -> Tuple[
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        encoded = self.tokenizer.encode_pair_batch(
+            [(p.title_a, p.title_b) for p in pairs], self.config.max_length
+        )
+        ids, mask, seg = encoded
+        labels = np.asarray([p.label for p in pairs], dtype=np.float64)
+        if validate_variant(variant) == "base":
+            return ids, mask, seg, labels, None, None
+        service = pair_service_payload(
+            self.server,
+            [p.entity_a for p in pairs],
+            [p.entity_b for p in pairs],
+            variant,
+        )
+        service_seg = pair_service_segment_ids(len(pairs), variant, self.server.k)
+        return ids, mask, seg, labels, service, service_seg

@@ -1,0 +1,48 @@
+"""Text substrate: tokenizer, mini-BERT, MLM pre-training, task heads.
+
+Substitutes the pre-trained Chinese BERT-base of the paper with a
+from-scratch transformer encoder pre-trained via masked LM on the
+synthetic title corpus, plus the PKGM service-vector injection path of
+§II-E (sequence-input integration).
+"""
+
+from .bert import MiniBert, MiniBertConfig
+from .heads import PairClassifier, TextClassifier
+from .integration import (
+    VARIANTS,
+    pair_service_payload,
+    pair_service_segment_ids,
+    service_payload,
+    validate_variant,
+    vectors_per_item,
+)
+from .mlm import MLMConfig, MLMHead, MLMTrainer, mask_tokens
+from .tokenizer import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, WordTokenizer
+
+__all__ = [
+    "CLS",
+    "MASK",
+    "MLMConfig",
+    "MLMHead",
+    "MLMTrainer",
+    "MiniBert",
+    "MiniBertConfig",
+    "PAD",
+    "PairClassifier",
+    "SEP",
+    "SPECIAL_TOKENS",
+    "TextClassifier",
+    "UNK",
+    "VARIANTS",
+    "WordTokenizer",
+    "mask_tokens",
+    "pair_service_payload",
+    "pair_service_segment_ids",
+    "service_payload",
+    "validate_variant",
+    "vectors_per_item",
+]
+
+from .pair_pretrain import PairPretrainConfig, PairPretrainer  # noqa: E402
+
+__all__.extend(["PairPretrainConfig", "PairPretrainer"])

@@ -1,0 +1,110 @@
+"""Task heads over the mini-BERT encoder.
+
+* :class:`TextClassifier` — Eq. 10: ``p = σ(W C + b)`` over the [CLS]
+  representation, used for item classification (Fig. 4).
+* :class:`PairClassifier` — the same head with a single logit over a
+  sentence-pair encoding, used for product alignment (Fig. 5).
+
+Both accept optional PKGM service vectors, which flow through
+:class:`repro.text.bert.MiniBert`'s injection path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from .bert import MiniBert
+
+
+class TextClassifier(Module):
+    """[CLS] -> fully connected layer -> class logits (Eq. 10)."""
+
+    def __init__(
+        self,
+        encoder: MiniBert,
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.encoder = encoder
+        self.num_classes = num_classes
+        self.classifier = Linear(encoder.config.dim, num_classes, rng=rng)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        segment_ids: Optional[np.ndarray] = None,
+        service_vectors: Optional[np.ndarray] = None,
+        service_segment_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        hidden = self.encoder(
+            token_ids,
+            attention_mask=attention_mask,
+            segment_ids=segment_ids,
+            service_vectors=service_vectors,
+            service_segment_ids=service_segment_ids,
+        )
+        return self.classifier(self.encoder.pooled(hidden))
+
+    def predict(self, *args, **kwargs) -> np.ndarray:
+        """Argmax class per example (eval mode)."""
+        self.eval()
+        logits = self.forward(*args, **kwargs)
+        self.train()
+        return logits.data.argmax(axis=-1)
+
+
+class PairClassifier(Module):
+    """[CLS] of a sentence pair -> single logit (paraphrase style)."""
+
+    def __init__(
+        self,
+        encoder: MiniBert,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.encoder = encoder
+        self.classifier = Linear(encoder.config.dim, 1, rng=rng)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        segment_ids: Optional[np.ndarray] = None,
+        service_vectors: Optional[np.ndarray] = None,
+        service_segment_ids: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        hidden = self.encoder(
+            token_ids,
+            attention_mask=attention_mask,
+            segment_ids=segment_ids,
+            service_vectors=service_vectors,
+            service_segment_ids=service_segment_ids,
+        )
+        return self.classifier(self.encoder.pooled(hidden)).reshape(
+            token_ids.shape[0]
+        )
+
+    def predict_proba(self, *args, **kwargs) -> np.ndarray:
+        """Alignment probability per pair (eval mode)."""
+        return 1.0 / (1.0 + np.exp(-np.clip(self.predict_logits(*args, **kwargs), -60, 60)))
+
+    def predict_logits(self, *args, **kwargs) -> np.ndarray:
+        """Raw pair logits (eval mode).
+
+        Ranking should use logits rather than probabilities: the sigmoid
+        saturates to exactly 1.0 in float arithmetic, which manufactures
+        ties among confident candidates and corrupts Hit@k.
+        """
+        self.eval()
+        logits = self.forward(*args, **kwargs)
+        self.train()
+        return logits.data

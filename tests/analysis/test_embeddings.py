@@ -1,0 +1,107 @@
+"""Tests for embedding-space diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    embedding_norm_summary,
+    item_embedding_matrix,
+    knn_category_purity,
+    sibling_separation,
+)
+from repro.config import smoke_config
+from repro.pipeline import build_workbench
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    return build_workbench(smoke_config(), pretrain_mlm=False)
+
+
+class TestItemEmbeddingMatrix:
+    def test_shapes_align(self, workbench):
+        embeddings, categories = item_embedding_matrix(workbench.pkgm, workbench.catalog)
+        assert len(embeddings) == len(workbench.catalog.items)
+        assert len(categories) == len(embeddings)
+        assert embeddings.shape[1] == workbench.config.pkgm.dim
+
+    def test_rows_match_entity_table(self, workbench):
+        embeddings, _ = item_embedding_matrix(workbench.pkgm, workbench.catalog)
+        table = workbench.pkgm.triple_module.entity_embeddings.weight.data
+        item = workbench.catalog.items[3]
+        assert np.allclose(embeddings[3], table[item.entity_id])
+
+
+class TestCategoryPurity:
+    def test_trained_embeddings_cluster_above_chance(self, workbench):
+        """The mechanism behind classification gains: same-category items
+        share values, so TransE clusters them."""
+        report = knn_category_purity(workbench.pkgm, workbench.catalog, k=5)
+        assert report.purity > report.chance * 1.5
+
+    def test_untrained_embeddings_near_chance(self, workbench):
+        from repro.core import PKGM, PKGMConfig
+
+        fresh = PKGM(
+            len(workbench.catalog.entities),
+            len(workbench.catalog.relations),
+            PKGMConfig(dim=16),
+            rng=np.random.default_rng(5),
+        )
+        report = knn_category_purity(fresh, workbench.catalog, k=5)
+        assert report.purity < report.chance * 1.7
+
+    def test_subsampling_path(self, workbench):
+        report = knn_category_purity(
+            workbench.pkgm, workbench.catalog, k=3, max_items=20,
+            rng=np.random.default_rng(0),
+        )
+        assert 0.0 <= report.purity <= 1.0
+
+    def test_rejects_bad_k(self, workbench):
+        with pytest.raises(ValueError):
+            knn_category_purity(workbench.pkgm, workbench.catalog, k=0)
+
+    def test_row_format(self, workbench):
+        row = knn_category_purity(workbench.pkgm, workbench.catalog, k=2).as_row()
+        assert "purity" in row
+
+
+class TestSiblingSeparation:
+    def test_siblings_closer_than_random(self, workbench):
+        """The mechanism behind alignment transfer."""
+        report = sibling_separation(workbench.pkgm, workbench.catalog)
+        assert report.sibling_mean_distance < report.random_mean_distance
+        assert report.ratio > 1.0
+
+    def test_max_pairs_subsamples(self, workbench):
+        report = sibling_separation(
+            workbench.pkgm, workbench.catalog, max_pairs=10,
+            rng=np.random.default_rng(1),
+        )
+        assert report.sibling_mean_distance > 0
+
+    def test_single_item_products_raise(self):
+        from repro.core import PKGM, PKGMConfig
+        from repro.data import CatalogConfig, generate_catalog
+
+        catalog = generate_catalog(
+            CatalogConfig(
+                num_categories=2,
+                products_per_category=3,
+                min_items_per_product=1,
+                max_items_per_product=1,
+                seed=0,
+            )
+        )
+        model = PKGM(len(catalog.entities), len(catalog.relations), PKGMConfig(dim=8))
+        with pytest.raises(ValueError):
+            sibling_separation(model, catalog)
+
+
+class TestNormSummary:
+    def test_entity_norms_respect_constraint(self, workbench):
+        summary = embedding_norm_summary(workbench.pkgm)
+        assert summary["entity_norm_max"] <= 1.0 + 1e-6
+        assert summary["entity_norm_mean"] > 0
+        assert summary["relation_norm_mean"] > 0

@@ -1,0 +1,130 @@
+"""Tests for ConvE and its from-ops convolution."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ConvE, make_scorer
+from repro.baselines.conve import _square_factorization, conv2d_3x3, pad2d
+from repro.nn import Tensor, check_gradients
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestPad2d:
+    def test_shape_and_content(self):
+        x = Tensor(np.ones((2, 1, 3, 4)))
+        padded = pad2d(x, 1)
+        assert padded.shape == (2, 1, 5, 6)
+        assert np.allclose(padded.data[:, :, 1:-1, 1:-1], 1.0)
+        assert np.allclose(padded.data[:, :, 0, :], 0.0)
+        assert np.allclose(padded.data[:, :, :, 0], 0.0)
+
+    def test_zero_padding_noop(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert pad2d(x, 0) is x
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pad2d(Tensor(np.ones((1, 1, 2, 2))), -1)
+
+
+class TestConv2d:
+    def test_matches_naive_convolution(self):
+        x = RNG.normal(size=(2, 3, 5, 4))
+        w = RNG.normal(size=(2, 3, 3, 3))
+        out = conv2d_3x3(Tensor(x), Tensor(w), padding=1).data
+        # Naive reference.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros((2, 2, 5, 4))
+        for b in range(2):
+            for f in range(2):
+                for i in range(5):
+                    for j in range(4):
+                        expected[b, f, i, j] = np.sum(
+                            xp[b, :, i : i + 3, j : j + 3] * w[f]
+                        )
+        assert np.allclose(out, expected, atol=1e-10)
+
+    def test_no_padding_shrinks(self):
+        x = Tensor(RNG.normal(size=(1, 1, 5, 5)))
+        w = Tensor(RNG.normal(size=(1, 1, 3, 3)))
+        assert conv2d_3x3(x, w, padding=0).shape == (1, 1, 3, 3)
+
+    def test_too_small_input_rejected(self):
+        x = Tensor(RNG.normal(size=(1, 1, 2, 2)))
+        w = Tensor(RNG.normal(size=(1, 1, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d_3x3(x, w, padding=0)
+
+    def test_gradients(self):
+        x = Tensor(RNG.normal(size=(1, 2, 4, 3)), requires_grad=True)
+        w = Tensor(RNG.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        check_gradients(
+            lambda a, b: conv2d_3x3(a, b, padding=1), [x, w], atol=1e-4, rtol=1e-3
+        )
+
+
+class TestConvE:
+    @pytest.fixture
+    def model(self):
+        return ConvE(10, 3, 12, rng=np.random.default_rng(1), num_filters=4)
+
+    def test_registered_in_factory(self):
+        assert isinstance(make_scorer("conve", 8, 2, 6), ConvE)
+
+    def test_score_shape(self, model):
+        scores = model.score(np.array([0, 1]), np.array([0, 2]), np.array([3, 4]))
+        assert scores.shape == (2,)
+
+    def test_fast_tail_path_consistent(self, model):
+        all_t = model.score_all_tails(2, 1)
+        for tail in (0, 5, 9):
+            single = model.score(
+                np.array([2]), np.array([1]), np.array([tail])
+            ).item()
+            assert single == pytest.approx(all_t[tail], rel=1e-8, abs=1e-8)
+
+    def test_fast_head_path_consistent(self, model):
+        all_h = model.score_all_heads(1, 7)
+        for head in (0, 4, 9):
+            single = model.score(
+                np.array([head]), np.array([1]), np.array([7])
+            ).item()
+            assert single == pytest.approx(all_h[head], rel=1e-8, abs=1e-8)
+
+    def test_gradients_reach_all_parameters(self, model):
+        scores = model.score(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]))
+        scores.sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_asymmetric(self, model):
+        forward = model.score(np.array([0]), np.array([1]), np.array([2])).item()
+        backward = model.score(np.array([2]), np.array([1]), np.array([0])).item()
+        assert forward != pytest.approx(backward)
+
+    def test_image_shape_validation(self):
+        with pytest.raises(ValueError):
+            ConvE(5, 2, 12, image_shape=(5, 3))
+        with pytest.raises(ValueError):
+            ConvE(5, 2, 12, num_filters=0)
+
+    def test_square_factorization(self):
+        assert _square_factorization(12) == (3, 4)
+        assert _square_factorization(16) == (4, 4)
+        assert _square_factorization(7) == (1, 7)
+
+    def test_trains_on_tiny_kg(self):
+        from repro.baselines import KGETrainer, KGETrainerConfig
+        from repro.kg import TripleStore
+
+        store = TripleStore(
+            [(h, r, 8 + (h + r) % 4) for h in range(8) for r in range(2)]
+        )
+        model = ConvE(12, 2, 8, rng=np.random.default_rng(2), num_filters=4)
+        losses = KGETrainer(
+            model,
+            KGETrainerConfig(epochs=10, batch_size=8, learning_rate=5e-3, seed=0),
+        ).train(store)
+        assert losses[-1] < losses[0]

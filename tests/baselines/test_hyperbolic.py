@@ -1,0 +1,149 @@
+"""Tests for the Poincaré-ball operations and the MuRP scorer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MuRP, make_scorer
+from repro.baselines.hyperbolic import (
+    artanh,
+    expmap0,
+    logmap0,
+    mobius_add,
+    poincare_distance,
+    project_to_ball,
+)
+from repro.nn import Tensor, check_gradients
+
+
+RNG = np.random.default_rng(0)
+
+
+def ball_points(*shape, scale=0.2):
+    return Tensor(RNG.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestHyperbolicOps:
+    def test_artanh_inverts_tanh(self):
+        x = np.linspace(-0.9, 0.9, 7)
+        out = artanh(Tensor(np.tanh(x))).data
+        assert np.allclose(out, x, atol=1e-8)
+
+    def test_artanh_clips_out_of_domain(self):
+        out = artanh(Tensor(np.array([1.5, -1.5]))).data
+        assert np.all(np.isfinite(out))
+
+    def test_mobius_identity(self):
+        """0 ⊕ y == y."""
+        y = RNG.normal(size=(4, 3)) * 0.3
+        out = mobius_add(Tensor(np.zeros_like(y)), Tensor(y)).data
+        assert np.allclose(out, y, atol=1e-9)
+
+    def test_mobius_left_inverse(self):
+        """(-x) ⊕ x == 0."""
+        x = RNG.normal(size=(4, 3)) * 0.3
+        out = mobius_add(Tensor(-x), Tensor(x)).data
+        assert np.allclose(out, 0.0, atol=1e-9)
+
+    def test_mobius_stays_in_ball(self):
+        x = project_to_ball(RNG.normal(size=(50, 4)))
+        y = project_to_ball(RNG.normal(size=(50, 4)))
+        out = mobius_add(Tensor(x), Tensor(y)).data
+        assert np.all(np.linalg.norm(out, axis=-1) < 1.0 + 1e-9)
+
+    def test_exp_log_roundtrip(self):
+        y = RNG.normal(size=(6, 5)) * 0.3
+        roundtrip = expmap0(logmap0(Tensor(y))).data
+        assert np.allclose(roundtrip, y, atol=1e-8)
+
+    def test_log_exp_roundtrip(self):
+        v = RNG.normal(size=(6, 5)) * 0.3
+        roundtrip = logmap0(expmap0(Tensor(v))).data
+        assert np.allclose(roundtrip, v, atol=1e-6)
+
+    def test_distance_symmetric_and_zero_on_diagonal(self):
+        x = RNG.normal(size=(5, 4)) * 0.3
+        y = RNG.normal(size=(5, 4)) * 0.3
+        d_xy = poincare_distance(Tensor(x), Tensor(y)).data
+        d_yx = poincare_distance(Tensor(y), Tensor(x)).data
+        assert np.allclose(d_xy, d_yx, atol=1e-9)
+        d_xx = poincare_distance(Tensor(x), Tensor(x)).data
+        assert np.allclose(d_xx, 0.0, atol=1e-4)
+
+    def test_distance_grows_toward_boundary(self):
+        """The same Euclidean gap costs more near the ball's edge."""
+        origin_pair = poincare_distance(
+            Tensor(np.array([[0.0, 0.0]])), Tensor(np.array([[0.1, 0.0]]))
+        ).item()
+        edge_pair = poincare_distance(
+            Tensor(np.array([[0.85, 0.0]])), Tensor(np.array([[0.95, 0.0]]))
+        ).item()
+        assert edge_pair > origin_pair
+
+    def test_gradients(self):
+        check_gradients(
+            lambda a, b: mobius_add(a, b),
+            [ball_points(3, 4), ball_points(3, 4)],
+            atol=1e-4,
+            rtol=1e-3,
+        )
+        check_gradients(
+            lambda a, b: poincare_distance(a, b),
+            [ball_points(3, 4), ball_points(3, 4)],
+            atol=1e-4,
+            rtol=1e-3,
+        )
+
+    def test_project_to_ball(self):
+        big = RNG.normal(size=(10, 3)) * 5
+        inside = project_to_ball(big)
+        assert np.all(np.linalg.norm(inside, axis=-1) < 1.0)
+        small = RNG.normal(size=(10, 3)) * 0.01
+        assert np.allclose(project_to_ball(small), small)
+
+
+class TestMuRP:
+    @pytest.fixture
+    def model(self):
+        return MuRP(10, 3, 6, rng=np.random.default_rng(1))
+
+    def test_registered_in_factory(self):
+        assert isinstance(make_scorer("murp", 8, 2, 4), MuRP)
+
+    def test_score_shape_and_finite(self, model):
+        scores = model.score(np.array([0, 1]), np.array([0, 2]), np.array([3, 4]))
+        assert scores.shape == (2,)
+        assert np.all(np.isfinite(scores.data))
+
+    def test_fast_paths_consistent(self, model):
+        all_t = model.score_all_tails(2, 1)
+        single = model.score(np.array([2]), np.array([1]), np.array([7])).item()
+        assert single == pytest.approx(all_t[7], rel=1e-8)
+        all_h = model.score_all_heads(1, 7)
+        single = model.score(np.array([4]), np.array([1]), np.array([7])).item()
+        assert single == pytest.approx(all_h[4], rel=1e-8)
+
+    def test_gradients_reach_all_parameters(self, model):
+        scores = model.score(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]))
+        scores.sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_post_batch_keeps_entities_in_ball(self, model):
+        model.entities.weight.data *= 100
+        model.post_batch()
+        norms = np.linalg.norm(model.entities.weight.data, axis=-1)
+        assert np.all(norms < 1.0)
+
+    def test_trains_on_tiny_kg(self):
+        from repro.baselines import KGETrainer, KGETrainerConfig
+        from repro.kg import TripleStore
+
+        store = TripleStore(
+            [(h, r, 8 + (h + r) % 4) for h in range(8) for r in range(2)]
+        )
+        model = MuRP(12, 2, 8, rng=np.random.default_rng(2))
+        losses = KGETrainer(
+            model,
+            KGETrainerConfig(epochs=15, batch_size=8, learning_rate=5e-3, seed=0),
+        ).train(store)
+        assert losses[-1] < losses[0]

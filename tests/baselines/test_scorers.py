@@ -1,0 +1,160 @@
+"""Unit tests for the KGE scorers: formulas, fast paths, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SCORERS,
+    ComplEx,
+    DistMult,
+    KGETrainer,
+    KGETrainerConfig,
+    RESCAL,
+    TransE,
+    TransH,
+    TransR,
+    make_scorer,
+)
+from repro.kg import TripleStore
+
+
+NUM_ENTITIES, NUM_RELATIONS, DIM = 12, 4, 6
+
+
+@pytest.fixture(params=sorted(SCORERS))
+def scorer(request):
+    return make_scorer(
+        request.param, NUM_ENTITIES, NUM_RELATIONS, DIM, rng=np.random.default_rng(0)
+    )
+
+
+class TestScorerContract:
+    """Every scorer satisfies the shared energy-model contract."""
+
+    def test_batch_score_shape(self, scorer):
+        h = np.array([0, 1, 2])
+        r = np.array([0, 1, 2])
+        t = np.array([3, 4, 5])
+        assert scorer.score(h, r, t).shape == (3,)
+
+    def test_score_all_tails_consistent_with_score(self, scorer):
+        head, relation = 2, 1
+        all_energies = scorer.score_all_tails(head, relation)
+        assert all_energies.shape == (NUM_ENTITIES,)
+        for tail in (0, 5, 11):
+            single = scorer.score(
+                np.array([head]), np.array([relation]), np.array([tail])
+            ).item()
+            assert single == pytest.approx(all_energies[tail], rel=1e-8, abs=1e-8)
+
+    def test_score_all_heads_consistent_with_score(self, scorer):
+        relation, tail = 2, 7
+        all_energies = scorer.score_all_heads(relation, tail)
+        assert all_energies.shape == (NUM_ENTITIES,)
+        for head in (1, 4, 9):
+            single = scorer.score(
+                np.array([head]), np.array([relation]), np.array([tail])
+            ).item()
+            assert single == pytest.approx(all_energies[head], rel=1e-8, abs=1e-8)
+
+    def test_gradients_reach_every_parameter(self, scorer):
+        h = np.array([0, 1, 2, 3])
+        r = np.array([0, 1, 2, 3])
+        t = np.array([4, 5, 6, 7])
+        scorer.score(h, r, t).sum().backward()
+        for name, param in scorer.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_post_batch_runs(self, scorer):
+        scorer.post_batch()  # must not raise
+
+
+class TestFormulaValues:
+    def test_transe_formula(self):
+        m = TransE(5, 2, 3, rng=np.random.default_rng(1))
+        h, r, t = 0, 1, 2
+        expected = np.abs(
+            m.entities.weight.data[h]
+            + m.relations.weight.data[r]
+            - m.entities.weight.data[t]
+        ).sum()
+        got = m.score(np.array([h]), np.array([r]), np.array([t])).item()
+        assert got == pytest.approx(expected)
+
+    def test_transh_projection_removes_normal_component(self):
+        m = TransH(5, 2, 3, rng=np.random.default_rng(2))
+        w = m.normals.weight.data[0]
+        w = w / np.linalg.norm(w)
+        e = m.entities.weight.data[1]
+        projected = m._project_np(e, m.normals.weight.data[0])
+        assert projected @ w == pytest.approx(0.0, abs=1e-10)
+
+    def test_transr_reduces_to_transe_with_identity(self):
+        m = TransR(5, 2, 3, rng=np.random.default_rng(3))
+        m.matrices.data[:] = np.eye(3)
+        ref = TransE(5, 2, 3, rng=np.random.default_rng(3))
+        ref.entities.weight.data = m.entities.weight.data.copy()
+        ref.relations.weight.data = m.relations.weight.data.copy()
+        h, r, t = np.array([0]), np.array([1]), np.array([2])
+        assert m.score(h, r, t).item() == pytest.approx(ref.score(h, r, t).item())
+
+    def test_distmult_symmetric_in_head_tail(self):
+        m = DistMult(5, 2, 3, rng=np.random.default_rng(4))
+        h, r, t = np.array([0]), np.array([1]), np.array([2])
+        assert m.score(h, r, t).item() == pytest.approx(
+            m.score(t, r, h).item()
+        )
+
+    def test_complex_asymmetric_in_head_tail(self):
+        m = ComplEx(5, 2, 3, rng=np.random.default_rng(5))
+        h, r, t = np.array([0]), np.array([1]), np.array([2])
+        assert m.score(h, r, t).item() != pytest.approx(m.score(t, r, h).item())
+
+    def test_rescal_formula(self):
+        m = RESCAL(5, 2, 3, rng=np.random.default_rng(6))
+        h, r, t = 0, 1, 2
+        expected = -(
+            m.entities.weight.data[h]
+            @ m.matrices.data[r]
+            @ m.entities.weight.data[t]
+        )
+        got = m.score(np.array([h]), np.array([r]), np.array([t])).item()
+        assert got == pytest.approx(expected)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in SCORERS:
+            model = make_scorer(name, 5, 2, 4)
+            assert model.num_entities == 5
+
+    def test_case_insensitive(self):
+        assert isinstance(make_scorer("TransE", 5, 2, 4), TransE)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_scorer("bogus", 5, 2, 4)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            TransE(5, 2, 0)
+
+
+class TestTrainerSmoke:
+    def test_loss_decreases_for_each_family(self):
+        store = TripleStore(
+            [(h, r, 8 + (h + r) % 4) for h in range(8) for r in range(2)]
+        )
+        for name in ("transe", "distmult"):
+            model = make_scorer(name, 12, 2, 8, rng=np.random.default_rng(0))
+            losses = KGETrainer(
+                model,
+                KGETrainerConfig(epochs=15, batch_size=8, learning_rate=0.02, seed=0),
+            ).train(store)
+            assert losses[-1] < losses[0]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            KGETrainerConfig(epochs=0)
+        with pytest.raises(ValueError):
+            KGETrainerConfig(margin=0)

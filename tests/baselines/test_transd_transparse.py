@@ -1,0 +1,133 @@
+"""Tests for the TransD and TranSparse scorers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TranSparse, TransD, TransE, make_scorer
+from repro.kg import TripleStore
+
+
+NUM_ENTITIES, NUM_RELATIONS, DIM = 12, 4, 6
+
+
+class TestTransD:
+    @pytest.fixture
+    def model(self):
+        return TransD(NUM_ENTITIES, NUM_RELATIONS, DIM, rng=np.random.default_rng(0))
+
+    def test_projection_formula(self, model):
+        """e_perp = e + (e_p . e) r_p, computed against numpy."""
+        h, r = 3, 1
+        e = model.entities.weight.data[h]
+        e_p = model.entity_proj.weight.data[h]
+        r_p = model.relation_proj.weight.data[r]
+        expected = e + (e_p @ e) * r_p
+        from repro.nn import Tensor
+
+        got = model._project(
+            Tensor(e[None, :]), Tensor(e_p[None, :]), Tensor(r_p[None, :])
+        ).data[0]
+        assert np.allclose(got, expected)
+
+    def test_fast_paths_consistent(self, model):
+        head, relation, tail = 2, 1, 7
+        single = model.score(
+            np.array([head]), np.array([relation]), np.array([tail])
+        ).item()
+        assert single == pytest.approx(
+            model.score_all_tails(head, relation)[tail], rel=1e-8
+        )
+        assert single == pytest.approx(
+            model.score_all_heads(relation, tail)[head], rel=1e-8
+        )
+
+    def test_gradients_reach_projection_vectors(self, model):
+        score = model.score(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]))
+        score.sum().backward()
+        assert model.entity_proj.weight.grad is not None
+        assert model.relation_proj.weight.grad is not None
+
+    def test_zero_projection_reduces_to_transe(self):
+        model = TransD(NUM_ENTITIES, NUM_RELATIONS, DIM, rng=np.random.default_rng(1))
+        model.entity_proj.weight.data[:] = 0.0
+        model.relation_proj.weight.data[:] = 0.0
+        reference = TransE(NUM_ENTITIES, NUM_RELATIONS, DIM, rng=np.random.default_rng(1))
+        reference.entities.weight.data = model.entities.weight.data.copy()
+        reference.relations.weight.data = model.relations.weight.data.copy()
+        h, r, t = np.array([0]), np.array([1]), np.array([2])
+        assert model.score(h, r, t).item() == pytest.approx(
+            reference.score(h, r, t).item()
+        )
+
+
+class TestTranSparse:
+    @pytest.fixture
+    def model(self):
+        return TranSparse(
+            NUM_ENTITIES, NUM_RELATIONS, DIM, rng=np.random.default_rng(0)
+        )
+
+    def test_default_masks_dense(self, model):
+        assert np.all(model._masks == 1.0)
+
+    def test_set_densities_sparsifies_rare_relations(self, model):
+        counts = {0: 100, 1: 100, 2: 5, 3: 1}
+        model.set_densities(counts)
+        dense_fill = model._masks[0].mean()
+        sparse_fill = model._masks[3].mean()
+        assert sparse_fill < dense_fill
+        # Diagonal backbone always kept.
+        for relation in range(NUM_RELATIONS):
+            assert np.all(np.diag(model._masks[relation]) == 1.0)
+
+    def test_masked_entries_stay_zero_after_updates(self, model):
+        model.set_densities({0: 100, 1: 50, 2: 5, 3: 1})
+        zero_mask = model._masks == 0.0
+        # Simulate a gradient step filling everything, then post_batch.
+        model.matrices.data = model.matrices.data + 1.0
+        model.post_batch()
+        assert np.all(model.matrices.data[zero_mask] == 0.0)
+
+    def test_fast_paths_consistent_after_sparsify(self, model):
+        model.set_densities({0: 100, 1: 50, 2: 5, 3: 1})
+        head, relation, tail = 4, 3, 9
+        single = model.score(
+            np.array([head]), np.array([relation]), np.array([tail])
+        ).item()
+        assert single == pytest.approx(
+            model.score_all_tails(head, relation)[tail], rel=1e-8
+        )
+        assert single == pytest.approx(
+            model.score_all_heads(relation, tail)[head], rel=1e-8
+        )
+
+    def test_validates_min_density(self):
+        with pytest.raises(ValueError):
+            TranSparse(5, 2, 4, min_density=0.0)
+
+    def test_set_densities_empty_noop(self, model):
+        before = model._masks.copy()
+        model.set_densities({})
+        assert np.array_equal(model._masks, before)
+
+
+class TestFactoryIntegration:
+    def test_new_names_registered(self):
+        assert isinstance(make_scorer("transd", 5, 2, 4), TransD)
+        assert isinstance(make_scorer("TranSparse", 5, 2, 4), TranSparse)
+
+    def test_trainable_end_to_end(self):
+        from repro.baselines import KGETrainer, KGETrainerConfig
+
+        store = TripleStore(
+            [(h, r, 8 + (h + r) % 4) for h in range(8) for r in range(2)]
+        )
+        for name in ("transd", "transparse"):
+            model = make_scorer(name, 12, 2, 8, rng=np.random.default_rng(0))
+            if isinstance(model, TranSparse):
+                model.set_densities(store.relation_counts())
+            losses = KGETrainer(
+                model,
+                KGETrainerConfig(epochs=12, batch_size=8, learning_rate=0.02, seed=0),
+            ).train(store)
+            assert losses[-1] < losses[0]

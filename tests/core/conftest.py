@@ -1,0 +1,67 @@
+"""Shared fixtures: a small catalog and a pre-trained PKGM.
+
+Pre-training is the expensive part, so it is session-scoped; tests that
+need an *untrained* model construct their own.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KeyRelationSelector,
+    PKGM,
+    PKGMConfig,
+    PKGMServer,
+    PKGMTrainer,
+    TrainerConfig,
+)
+from repro.data import CatalogConfig, generate_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return generate_catalog(
+        CatalogConfig(
+            num_categories=4,
+            products_per_category=15,
+            min_items_per_product=2,
+            max_items_per_product=3,
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_pkgm(catalog):
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        PKGMConfig(dim=16),
+        rng=np.random.default_rng(0),
+    )
+    trainer = PKGMTrainer(
+        model,
+        TrainerConfig(
+            epochs=25,
+            batch_size=128,
+            learning_rate=0.02,
+            corrupt_relation_prob=0.2,
+            seed=0,
+        ),
+    )
+    history = trainer.train(catalog.store)
+    return model, history
+
+
+@pytest.fixture(scope="session")
+def selector(catalog):
+    item_to_category = {
+        item.entity_id: item.category_id for item in catalog.items
+    }
+    return KeyRelationSelector(catalog.store, item_to_category, k=5)
+
+
+@pytest.fixture(scope="session")
+def server(trained_pkgm, selector):
+    model, _ = trained_pkgm
+    return PKGMServer(model, selector)

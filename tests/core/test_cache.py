@@ -1,0 +1,92 @@
+"""Tests for the serving-side LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import CachedPKGMServer
+
+
+@pytest.fixture
+def cached(server):
+    return CachedPKGMServer(server, capacity=4)
+
+
+class TestCachedServing:
+    def test_results_identical_to_uncached(self, cached, server, catalog):
+        entity = catalog.items[0].entity_id
+        direct = server.serve(entity)
+        via_cache = cached.serve(entity)
+        assert np.allclose(direct.sequence(), via_cache.sequence())
+
+    def test_hit_miss_accounting(self, cached, catalog):
+        entity = catalog.items[0].entity_id
+        cached.serve(entity)
+        cached.serve(entity)
+        cached.serve(catalog.items[1].entity_id)
+        stats = cached.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_lru_eviction(self, cached, catalog):
+        ids = [item.entity_id for item in catalog.items[:5]]
+        for entity in ids:  # capacity 4: first entry evicted
+            cached.serve(entity)
+        assert cached.stats().evictions == 1
+        assert cached.stats().size == 4
+        # Oldest (ids[0]) was evicted: serving it again is a miss.
+        before = cached.stats().misses
+        cached.serve(ids[0])
+        assert cached.stats().misses == before + 1
+
+    def test_recency_updated_on_hit(self, cached, catalog):
+        ids = [item.entity_id for item in catalog.items[:5]]
+        for entity in ids[:4]:
+            cached.serve(entity)
+        cached.serve(ids[0])  # refresh recency of the oldest
+        cached.serve(ids[4])  # evicts ids[1], not ids[0]
+        before = cached.stats().hits
+        cached.serve(ids[0])
+        assert cached.stats().hits == before + 1
+
+    def test_batch_helpers_share_cache(self, cached, catalog):
+        ids = [item.entity_id for item in catalog.items[:3]]
+        seq = cached.serve_sequence_batch(ids)
+        condensed = cached.serve_condensed_batch(ids)
+        assert seq.shape[0] == 3
+        assert condensed.shape[0] == 3
+        stats = cached.stats()
+        assert stats.misses == 3  # second batch fully cached
+        assert stats.hits == 3
+
+    def test_refresh_invalidates(self, cached, server, catalog):
+        entity = catalog.items[0].entity_id
+        cached.serve(entity)
+        cached.refresh(server)
+        assert cached.stats().size == 0
+        before = cached.stats().misses
+        cached.serve(entity)
+        assert cached.stats().misses == before + 1
+
+    def test_surface_properties(self, cached, server):
+        assert cached.k == server.k
+        assert cached.dim == server.dim
+
+    def test_raw_services_pass_through(self, cached, server, catalog):
+        heads = np.array([catalog.items[0].entity_id])
+        relations = np.array([0])
+        assert np.allclose(
+            cached.triple_service(heads, relations),
+            server.triple_service(heads, relations),
+        )
+        assert np.allclose(
+            cached.relation_service(heads, relations),
+            server.relation_service(heads, relations),
+        )
+
+    def test_capacity_validation(self, server):
+        with pytest.raises(ValueError):
+            CachedPKGMServer(server, capacity=0)
+
+    def test_stats_row(self, cached):
+        assert "hit-rate" in cached.stats().as_row()

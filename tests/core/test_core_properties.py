@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for PKGM service invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeyRelationSelector, PKGM, PKGMConfig, PKGMServer
+from repro.kg import TripleStore
+
+
+def make_model(seed, num_entities=12, num_relations=4, dim=6):
+    return PKGM(
+        num_entities,
+        num_relations,
+        PKGMConfig(dim=dim),
+        rng=np.random.default_rng(seed),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(st.tuples(st.integers(0, 11), st.integers(0, 3)), min_size=1, max_size=8),
+)
+def test_triple_service_is_h_plus_r(seed, pairs):
+    """Eq. 6 holds exactly for every (h, r), trained or not."""
+    model = make_model(seed)
+    heads = np.asarray([h for h, _ in pairs])
+    relations = np.asarray([r for _, r in pairs])
+    service = model.service_triple(heads, relations)
+    expected = (
+        model.triple_module.entity_embeddings.weight.data[heads]
+        + model.triple_module.relation_embeddings.weight.data[relations]
+    )
+    assert np.allclose(service, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(st.tuples(st.integers(0, 11), st.integers(0, 3)), min_size=1, max_size=8),
+)
+def test_relation_service_matches_autograd_transform(seed, pairs):
+    """The numpy service path and the autograd path agree (Eq. 7)."""
+    model = make_model(seed)
+    heads = np.asarray([h for h, _ in pairs])
+    relations = np.asarray([r for _, r in pairs])
+    service = model.service_relation(heads, relations)
+    autograd = model.relation_module.transform(heads, relations).data
+    assert np.allclose(service, autograd)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 3), st.integers(0, 11)),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_joint_score_nonnegative_and_additive(seed, triples):
+    """f = f_T + f_R with both parts L1 norms, hence nonnegative."""
+    model = make_model(seed)
+    arr = np.asarray(triples)
+    total = model.score(arr).data
+    f_t = model.triple_module.score(arr[:, 0], arr[:, 1], arr[:, 2]).data
+    f_r = model.relation_module.score(arr[:, 0], arr[:, 1]).data
+    assert np.all(total >= 0)
+    assert np.allclose(total, f_t + f_r)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 3), st.integers(0, 11)),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_margin_loss_identical_pairs_equal_margin(seed, triples):
+    """Identical positives/negatives give loss = margin * batch (Eq. 4)."""
+    model = make_model(seed)
+    arr = np.asarray(triples)
+    loss = model.margin_loss(arr, arr.copy())
+    assert loss.item() == np.float64(len(arr)) * model.config.margin
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 5))
+def test_condensed_is_mean_of_paired_concat(seed, k):
+    """Eq. 8-9: condensed vector equals the mean of [S_j ; S_{j+k}]."""
+    model = make_model(seed)
+    store = TripleStore([(0, r % 4, 5 + r % 6) for r in range(4)])
+    selector = KeyRelationSelector(store, {0: 0}, k=k)
+    server = PKGMServer(model, selector)
+    vectors = server.serve(0)
+    manual = np.concatenate(
+        [vectors.triple_vectors, vectors.relation_vectors], axis=1
+    ).mean(axis=0)
+    assert np.allclose(vectors.condensed(), manual)
+    assert vectors.condensed().shape == (2 * model.config.dim,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_sequence_order_is_triple_then_relation(seed):
+    """§II-E: S_1..S_k from the triple module precede S_{k+1}..S_{2k}."""
+    model = make_model(seed)
+    store = TripleStore([(0, r, 5 + r) for r in range(4)])
+    selector = KeyRelationSelector(store, {0: 0}, k=3)
+    server = PKGMServer(model, selector)
+    vectors = server.serve(0)
+    sequence = vectors.sequence()
+    assert np.allclose(sequence[:3], vectors.triple_vectors)
+    assert np.allclose(sequence[3:], vectors.relation_vectors)

@@ -1,0 +1,60 @@
+"""Tests for the deployable server snapshot (save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PKGMServer
+
+
+class TestServerSaveLoad:
+    def test_roundtrip_serves_identically(self, server, catalog, tmp_path):
+        path = tmp_path / "server.npz"
+        server.save(path)
+        restored = PKGMServer.load(path)
+        for item in catalog.items[:10]:
+            original = server.serve(item.entity_id)
+            loaded = restored.serve(item.entity_id)
+            assert np.allclose(original.triple_vectors, loaded.triple_vectors)
+            assert np.allclose(original.relation_vectors, loaded.relation_vectors)
+            assert np.array_equal(original.key_relations, loaded.key_relations)
+
+    def test_roundtrip_metadata(self, server, tmp_path):
+        path = tmp_path / "server.npz"
+        server.save(path)
+        restored = PKGMServer.load(path)
+        assert restored.k == server.k
+        assert restored.dim == server.dim
+        assert restored.num_entities == server.num_entities
+        assert restored.num_relations == server.num_relations
+
+    def test_batch_apis_work_after_load(self, server, catalog, tmp_path):
+        path = tmp_path / "server.npz"
+        server.save(path)
+        restored = PKGMServer.load(path)
+        ids = [item.entity_id for item in catalog.items[:5]]
+        assert np.allclose(
+            server.serve_sequence_batch(ids), restored.serve_sequence_batch(ids)
+        )
+        assert np.allclose(
+            server.serve_condensed_batch(ids), restored.serve_condensed_batch(ids)
+        )
+
+    def test_unknown_item_raises_after_load(self, server, tmp_path):
+        path = tmp_path / "server.npz"
+        server.save(path)
+        restored = PKGMServer.load(path)
+        with pytest.raises(KeyError):
+            restored.serve(10**9)
+
+    def test_snapshot_is_self_contained(self, server, catalog, tmp_path):
+        """Loading must not need the model, selector, or triple store."""
+        path = tmp_path / "server.npz"
+        server.save(path)
+        restored = PKGMServer.load(path)
+        entity = catalog.items[0].entity_id
+        before = restored.serve(entity).sequence()
+        # Mutating the original server's arrays must not affect the copy.
+        server._entity_table += 10.0
+        after = restored.serve(entity).sequence()
+        server._entity_table -= 10.0
+        assert np.allclose(before, after)

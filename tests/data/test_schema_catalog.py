@@ -1,0 +1,198 @@
+"""Tests for the schema builder and catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AttributeSpec,
+    CatalogConfig,
+    build_default_schema,
+    generate_catalog,
+    make_brand_pool,
+    make_series_pool,
+)
+
+
+class TestSchema:
+    def test_requested_category_count(self):
+        schema = build_default_schema(7, np.random.default_rng(0))
+        assert len(schema) == 7
+        assert len({c.name for c in schema}) == 7
+
+    def test_category_ids_dense(self):
+        schema = build_default_schema(5, np.random.default_rng(0))
+        assert [c.category_id for c in schema] == list(range(5))
+
+    def test_every_category_has_brand(self):
+        schema = build_default_schema(10, np.random.default_rng(1))
+        for category in schema:
+            assert "brandIs" in category.attribute_relations()
+
+    def test_attribute_count_within_bounds(self):
+        schema = build_default_schema(
+            10, np.random.default_rng(2), min_attributes=5, max_attributes=9
+        )
+        for category in schema:
+            assert 5 <= len(category.attributes) <= 9
+
+    def test_brand_subsets_differ_across_categories(self):
+        schema = build_default_schema(10, np.random.default_rng(3))
+        brand_sets = [
+            frozenset(a.values)
+            for c in schema
+            for a in c.attributes
+            if a.relation == "brandIs"
+        ]
+        assert len(set(brand_sets)) > 1
+
+    def test_deterministic_given_seed(self):
+        a = build_default_schema(6, np.random.default_rng(42))
+        b = build_default_schema(6, np.random.default_rng(42))
+        assert [c.name for c in a] == [c.name for c in b]
+        assert [c.attributes for c in a] == [c.attributes for c in b]
+
+    def test_rejects_excessive_categories(self):
+        with pytest.raises(ValueError):
+            build_default_schema(10_000, np.random.default_rng(0))
+
+    def test_rejects_zero_categories(self):
+        with pytest.raises(ValueError):
+            build_default_schema(0, np.random.default_rng(0))
+
+    def test_attribute_spec_validation(self):
+        with pytest.raises(ValueError):
+            AttributeSpec(relation="x", values=())
+        with pytest.raises(ValueError):
+            AttributeSpec(relation="x", values=("a",), fill_probability=0.0)
+
+    def test_brand_pool_unique(self):
+        pool = make_brand_pool(30, np.random.default_rng(0))
+        assert len(pool) == 30
+        assert len(set(pool)) == 30
+
+    def test_series_pool_format(self):
+        pool = make_series_pool(10, np.random.default_rng(0))
+        assert all("-" in s for s in pool)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    config = CatalogConfig(
+        num_categories=6,
+        products_per_category=12,
+        min_items_per_product=2,
+        max_items_per_product=4,
+        seed=7,
+    )
+    return generate_catalog(config)
+
+
+class TestCatalog:
+    def test_counts_consistent(self, catalog):
+        assert len(catalog.products) == 6 * 12
+        assert len(catalog.items) >= len(catalog.products) * 2
+        assert catalog.entities.num_items == len(catalog.items)
+
+    def test_items_per_product_bounds(self, catalog):
+        for product in catalog.products:
+            n = len(catalog.items_of_product(product.product_id))
+            assert 2 <= n <= 4
+
+    def test_item_ids_dense_and_match_entity_registry(self, catalog):
+        for i, item in enumerate(catalog.items):
+            assert item.item_id == i
+            assert catalog.entities.is_item(item.entity_id)
+            assert catalog.entities.label_of(item.entity_id) == item.label
+
+    def test_product_truth_covers_all_schema_attributes(self, catalog):
+        schema_by_id = {c.category_id: c for c in catalog.schema}
+        for product in catalog.products:
+            spec = schema_by_id[product.category_id]
+            expected = set(spec.attribute_relations()) | {"modelIs"}
+            assert set(product.attributes) == expected
+
+    def test_model_codes_unique_per_product(self, catalog):
+        codes = [p.attributes["modelIs"] for p in catalog.products]
+        assert len(set(codes)) == len(codes)
+        assert codes[0] == "md-0"
+
+    def test_items_of_same_product_share_model_code(self, catalog):
+        products = {p.product_id: p for p in catalog.products}
+        for item in catalog.items:
+            if "modelIs" in item.attributes:
+                truth = products[item.product_id].attributes["modelIs"]
+                assert item.attributes["modelIs"] == truth
+
+    def test_model_codes_can_be_disabled(self):
+        from repro.data import CatalogConfig, generate_catalog
+
+        catalog = generate_catalog(
+            CatalogConfig(
+                num_categories=2,
+                products_per_category=4,
+                include_model_codes=False,
+                seed=0,
+            )
+        )
+        assert "modelIs" not in catalog.relations
+        assert all("modelIs" not in p.attributes for p in catalog.products)
+
+    def test_seller_fill_is_subset_of_truth_keys(self, catalog):
+        products = {p.product_id: p for p in catalog.products}
+        for item in catalog.items:
+            truth = products[item.product_id].attributes
+            assert set(item.attributes) <= set(truth)
+
+    def test_kg_triples_match_item_attributes(self, catalog):
+        for item in catalog.items[:50]:
+            triples = catalog.store.triples_with_head(item.entity_id)
+            assert len(triples) == len(item.attributes)
+            for relation_label, value_label in item.attributes.items():
+                r = catalog.relations.id_of(relation_label)
+                tails = catalog.store.tails(item.entity_id, r)
+                assert len(tails) == 1
+                assert (
+                    catalog.entities.label_of(tails[0])
+                    == f"{relation_label}:{value_label}"
+                )
+
+    def test_category_not_a_kg_relation(self, catalog):
+        """The classification label must not leak through the KG."""
+        assert "categoryIs" not in catalog.relations
+
+    def test_value_entities_are_not_items(self, catalog):
+        for triple in catalog.store:
+            assert not catalog.entities.is_item(triple.tail)
+
+    def test_category_of_entity(self, catalog):
+        item = catalog.items[5]
+        assert catalog.category_of_entity(item.entity_id) == item.category_id
+
+    def test_deterministic_given_seed(self):
+        config = CatalogConfig(num_categories=3, products_per_category=5, seed=11)
+        a = generate_catalog(config)
+        b = generate_catalog(config)
+        assert np.array_equal(a.store.to_array(), b.store.to_array())
+        assert [i.attributes for i in a.items] == [i.attributes for i in b.items]
+
+    def test_different_seeds_differ(self):
+        a = generate_catalog(CatalogConfig(num_categories=3, products_per_category=5, seed=1))
+        b = generate_catalog(CatalogConfig(num_categories=3, products_per_category=5, seed=2))
+        assert [i.attributes for i in a.items] != [i.attributes for i in b.items]
+
+    def test_sparsity_from_fill_probability(self, catalog):
+        """Sellers omit fields: items carry fewer attributes than truth."""
+        schema_by_id = {c.category_id: c for c in catalog.schema}
+        total_possible = sum(
+            len(schema_by_id[item.category_id].attributes) for item in catalog.items
+        )
+        total_filled = sum(len(item.attributes) for item in catalog.items)
+        assert total_filled < total_possible
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CatalogConfig(num_categories=0)
+        with pytest.raises(ValueError):
+            CatalogConfig(min_items_per_product=3, max_items_per_product=2)
+        with pytest.raises(ValueError):
+            CatalogConfig(attribute_error_probability=1.0)

@@ -1,0 +1,218 @@
+"""Tests for the parameter-server simulation.
+
+The critical test verifies the worker's closed-form gradients against
+the autograd engine — the PS pipeline must optimize exactly the same
+objective as the reference trainer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PKGM, PKGMConfig
+from repro.distributed import (
+    DistributedConfig,
+    DistributedPKGMTrainer,
+    ParameterServer,
+    PKGMWorker,
+)
+from repro.kg import TripleStore
+
+
+@pytest.fixture
+def server():
+    ps = ParameterServer(num_shards=3, learning_rate=0.01)
+    rng = np.random.default_rng(0)
+    ps.register("entities", rng.normal(size=(10, 4)))
+    ps.register("relations", rng.normal(size=(3, 4)))
+    ps.register("matrices", np.tile(np.eye(4), (3, 1, 1)))
+    return ps
+
+
+class TestParameterServer:
+    def test_shard_assignment_balanced(self, server):
+        sizes = server.shard_sizes("entities")
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_pull_returns_copies(self, server):
+        rows = np.array([1, 2])
+        pulled = server.pull("entities", rows)
+        pulled[:] = 999.0
+        assert not np.any(server.snapshot("entities")[rows] == 999.0)
+
+    def test_push_moves_against_gradient(self, server):
+        rows = np.array([5])
+        before = server.snapshot("entities")[5].copy()
+        server.push("entities", rows, np.ones((1, 4)))
+        after = server.snapshot("entities")[5]
+        assert np.all(after < before)  # positive grad -> decrease
+
+    def test_push_accumulates_duplicate_rows(self):
+        ps1 = ParameterServer(num_shards=2, learning_rate=0.01)
+        ps2 = ParameterServer(num_shards=2, learning_rate=0.01)
+        table = np.ones((4, 3))
+        ps1.register("t", table)
+        ps2.register("t", table)
+        # Duplicate rows in one push == summed gradient in one push.
+        ps1.push("t", np.array([1, 1]), np.ones((2, 3)))
+        ps2.push("t", np.array([1]), 2 * np.ones((1, 3)))
+        assert np.allclose(ps1.snapshot("t"), ps2.snapshot("t"))
+
+    def test_push_misaligned_raises(self, server):
+        with pytest.raises(ValueError):
+            server.push("entities", np.array([0, 1]), np.ones((1, 4)))
+
+    def test_rpc_counters_track_shards(self, server):
+        server.pull_count = 0
+        server.pull("entities", np.array([0, 3, 6, 9]))  # shards 0,0,0,0
+        assert server.pull_count == 1
+        server.pull("entities", np.array([0, 1, 2]))  # shards 0,1,2
+        assert server.pull_count == 4
+
+    def test_duplicate_registration_raises(self, server):
+        with pytest.raises(KeyError):
+            server.register("entities", np.zeros((2, 2)))
+
+    def test_renormalize_rows(self, server):
+        server._tables["entities"] *= 100
+        server.renormalize_rows("entities", 1.0)
+        norms = np.linalg.norm(server.snapshot("entities"), axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterServer(num_shards=0)
+        with pytest.raises(ValueError):
+            ParameterServer(num_shards=1, learning_rate=0)
+
+
+class TestWorkerGradients:
+    def test_closed_form_matches_autograd(self):
+        """The PS worker's hand-coded gradients equal autograd's."""
+        model = PKGM(10, 3, PKGMConfig(dim=4, margin=2.0), rng=np.random.default_rng(3))
+        ps = ParameterServer(num_shards=2, learning_rate=0.01)
+        ps.register("entities", model.triple_module.entity_embeddings.weight.data)
+        ps.register("relations", model.triple_module.relation_embeddings.weight.data)
+        ps.register("matrices", model.relation_module.transfer_matrices.data)
+        worker = PKGMWorker(ps, margin=2.0)
+
+        rng = np.random.default_rng(5)
+        positives = rng.integers(0, [10, 3, 10], size=(6, 3))
+        negatives = positives.copy()
+        negatives[:, 2] = (negatives[:, 2] + 3) % 10
+
+        packet = worker.compute(positives, negatives)
+
+        model.zero_grad()
+        loss = model.margin_loss(positives, negatives)
+        loss.backward()
+        assert packet.loss == pytest.approx(loss.item())
+
+        entity_grad = model.triple_module.entity_embeddings.weight.grad
+        relation_grad = model.triple_module.relation_embeddings.weight.grad
+        matrix_grad = model.relation_module.transfer_matrices.grad
+
+        dense_e = np.zeros_like(entity_grad)
+        dense_e[packet.rows["entities"]] = packet.gradients["entities"]
+        dense_r = np.zeros_like(relation_grad)
+        dense_r[packet.rows["relations"]] = packet.gradients["relations"]
+        dense_m = np.zeros_like(matrix_grad)
+        dense_m[packet.rows["matrices"]] = packet.gradients["matrices"]
+
+        assert np.allclose(dense_e, entity_grad, atol=1e-10)
+        assert np.allclose(dense_r, relation_grad, atol=1e-10)
+        assert np.allclose(dense_m, matrix_grad, atol=1e-10)
+
+    def test_inactive_pairs_contribute_nothing(self):
+        model = PKGM(10, 2, PKGMConfig(dim=4, margin=0.1), rng=np.random.default_rng(1))
+        ps = ParameterServer(num_shards=1, learning_rate=0.01)
+        ps.register("entities", model.triple_module.entity_embeddings.weight.data)
+        ps.register("relations", model.triple_module.relation_embeddings.weight.data)
+        ps.register("matrices", model.relation_module.transfer_matrices.data)
+        worker = PKGMWorker(ps, margin=0.1)
+        positives = np.array([[0, 0, 1]])
+        # Make the negative score astronomically worse.
+        ps._tables["entities"][2] = 1e6
+        negatives = np.array([[0, 0, 2]])
+        packet = worker.compute(positives, negatives)
+        assert packet.loss == 0.0
+        for grads in packet.gradients.values():
+            assert np.allclose(grads, 0.0)
+
+    def test_misaligned_batches_raise(self):
+        ps = ParameterServer(num_shards=1, learning_rate=0.01)
+        ps.register("entities", np.zeros((4, 2)))
+        ps.register("relations", np.zeros((2, 2)))
+        ps.register("matrices", np.tile(np.eye(2), (2, 1, 1)))
+        worker = PKGMWorker(ps, margin=1.0)
+        with pytest.raises(ValueError):
+            worker.compute(np.zeros((2, 3), dtype=int), np.zeros((3, 3), dtype=int))
+
+    def test_margin_validation(self, server):
+        with pytest.raises(ValueError):
+            PKGMWorker(server, margin=0.0)
+
+
+class TestDistributedTraining:
+    @pytest.fixture
+    def store(self):
+        triples = []
+        for h in range(20):
+            for r in range(3):
+                triples.append((h, r, 20 + (h + 2 * r) % 8))
+        return TripleStore(triples)
+
+    def test_loss_decreases(self, store):
+        model = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+        trainer = DistributedPKGMTrainer(
+            model,
+            DistributedConfig(num_shards=4, num_workers=4, epochs=12, batch_size=16),
+        )
+        losses = trainer.train(store)
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_staleness_still_converges(self, store):
+        model = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+        trainer = DistributedPKGMTrainer(
+            model,
+            DistributedConfig(
+                num_shards=4, num_workers=4, staleness=3, epochs=12, batch_size=16
+            ),
+        )
+        losses = trainer.train(store)
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_export_updates_model(self, store):
+        model = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+        before = model.triple_module.entity_embeddings.weight.data.copy()
+        DistributedPKGMTrainer(
+            model, DistributedConfig(epochs=2, batch_size=16)
+        ).train(store)
+        after = model.triple_module.entity_embeddings.weight.data
+        assert not np.allclose(before, after)
+
+    def test_comparable_to_reference_trainer(self, store):
+        """PS training reaches the same loss regime as the single-process
+        reference (same objective, same sampler)."""
+        from repro.core import PKGMTrainer, TrainerConfig
+
+        reference = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+        ref_losses = PKGMTrainer(
+            reference,
+            TrainerConfig(epochs=12, batch_size=16, learning_rate=0.01, seed=0),
+        ).train(store).epoch_losses
+
+        distributed = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+        dist_losses = DistributedPKGMTrainer(
+            distributed,
+            DistributedConfig(epochs=12, batch_size=16, learning_rate=0.01, seed=0),
+        ).train(store)
+        assert dist_losses[-1] < ref_losses[-1] * 2.0 + 0.1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DistributedConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            DistributedConfig(staleness=-1)
+        with pytest.raises(ValueError):
+            DistributedConfig(epochs=0)

@@ -1,0 +1,86 @@
+"""Property-based tests for metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    hit_ratio_at_k,
+    hits_at_k,
+    label_ranks,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    rank_of_positive,
+)
+
+
+ranks_strategy = st.lists(st.integers(1, 200), min_size=1, max_size=50)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ranks_strategy, st.integers(1, 100))
+def test_metrics_bounded(ranks, k):
+    assert 0.0 <= hits_at_k(ranks, k) <= 1.0
+    assert 0.0 <= ndcg_at_k(ranks, k) <= 1.0
+    assert 0.0 < mean_reciprocal_rank(ranks) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(ranks_strategy)
+def test_metrics_monotone_in_k(ranks):
+    hr = [hit_ratio_at_k(ranks, k) for k in (1, 3, 5, 10, 30)]
+    ndcg = [ndcg_at_k(ranks, k) for k in (1, 3, 5, 10, 30)]
+    assert all(a <= b + 1e-12 for a, b in zip(hr, hr[1:]))
+    assert all(a <= b + 1e-12 for a, b in zip(ndcg, ndcg[1:]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(ranks_strategy)
+def test_ndcg_never_exceeds_hr(ranks):
+    """Each query contributes <= 1 to HR and <= its HR gain to NDCG."""
+    for k in (1, 5, 30):
+        assert ndcg_at_k(ranks, k) <= hit_ratio_at_k(ranks, k) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(ranks_strategy)
+def test_ndcg1_equals_hr1(ranks):
+    assert ndcg_at_k(ranks, 1) == hit_ratio_at_k(ranks, 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(-100, 100, allow_nan=False), min_size=2, max_size=40, unique=True
+    )
+)
+def test_rank_of_positive_consistent_with_sort(scores):
+    scores = np.asarray(scores)
+    for index in (0, len(scores) - 1):
+        rank = rank_of_positive(scores, positive_index=index)
+        expected = 1 + int((scores > scores[index]).sum())
+        assert rank == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 8).flatmap(
+        lambda c: st.tuples(
+            st.lists(
+                st.lists(
+                    st.floats(-10, 10, allow_nan=False), min_size=c, max_size=c
+                ),
+                min_size=1,
+                max_size=10,
+            ),
+            st.just(c),
+        )
+    )
+)
+def test_label_ranks_in_range(data):
+    rows, c = data
+    logits = np.asarray(rows)
+    labels = np.zeros(len(rows), dtype=np.int64)
+    ranks = label_ranks(logits, labels)
+    assert np.all(ranks >= 1)
+    assert np.all(ranks <= c)

@@ -1,0 +1,127 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    accuracy,
+    hit_ratio_at_k,
+    hits_at_k,
+    label_ranks,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    rank_of_positive,
+    ranking_metrics,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestLabelRanks:
+    def test_correct_label_highest_gets_rank_one(self):
+        logits = np.array([[0.1, 0.9, 0.0]])
+        assert label_ranks(logits, np.array([1]))[0] == 1
+
+    def test_correct_label_lowest_gets_last_rank(self):
+        logits = np.array([[0.9, 0.5, 0.1]])
+        assert label_ranks(logits, np.array([2]))[0] == 3
+
+    def test_ties_averaged(self):
+        logits = np.array([[1.0, 1.0, 1.0, 1.0]])
+        # 0 better, 3 ties -> 1 + 3//2 = 2.
+        assert label_ranks(logits, np.array([0]))[0] == 2
+
+    def test_batch(self):
+        logits = np.array([[0.9, 0.1], [0.1, 0.9]])
+        ranks = label_ranks(logits, np.array([0, 0]))
+        assert list(ranks) == [1, 2]
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            label_ranks(np.array([1.0, 2.0]), np.array([0]))
+        with pytest.raises(ValueError):
+            label_ranks(np.ones((2, 3)), np.array([0]))
+
+
+class TestHitsAndHR:
+    def test_hits(self):
+        ranks = [1, 2, 5, 11]
+        assert hits_at_k(ranks, 1) == pytest.approx(0.25)
+        assert hits_at_k(ranks, 10) == pytest.approx(0.75)
+
+    def test_hr_is_alias(self):
+        assert hit_ratio_at_k([1, 3], 2) == hits_at_k([1, 3], 2)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            hits_at_k([], 1)
+        with pytest.raises(ValueError):
+            hits_at_k([1], 0)
+
+
+class TestNDCG:
+    def test_rank_one_is_perfect(self):
+        assert ndcg_at_k([1], 10) == pytest.approx(1.0)
+
+    def test_rank_beyond_k_is_zero(self):
+        assert ndcg_at_k([11], 10) == pytest.approx(0.0)
+
+    def test_rank_two_value(self):
+        assert ndcg_at_k([2], 10) == pytest.approx(1.0 / np.log2(3))
+
+    def test_ndcg_at_1_equals_hr_at_1(self):
+        """The paper's Table VIII shows NDCG@1 == HR@1/100 — same formula."""
+        ranks = [1, 2, 1, 5]
+        assert ndcg_at_k(ranks, 1) == pytest.approx(hit_ratio_at_k(ranks, 1))
+
+    def test_monotone_in_k(self):
+        ranks = [1, 4, 9, 25]
+        values = [ndcg_at_k(ranks, k) for k in (1, 3, 5, 10, 30)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestMRRAndRankOfPositive:
+    def test_mrr(self):
+        assert mean_reciprocal_rank([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_rank_of_positive_best(self):
+        assert rank_of_positive(np.array([0.9, 0.2, 0.1])) == 1
+
+    def test_rank_of_positive_worst(self):
+        assert rank_of_positive(np.array([0.1, 0.5, 0.9])) == 3
+
+    def test_rank_of_positive_other_index(self):
+        assert rank_of_positive(np.array([0.5, 0.9, 0.1]), positive_index=1) == 1
+
+    def test_tie_handling(self):
+        # All equal: 0 better, 2 ties -> rank 2.
+        assert rank_of_positive(np.array([0.5, 0.5, 0.5])) == 2
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            rank_of_positive(np.array([]))
+        with pytest.raises(IndexError):
+            rank_of_positive(np.array([1.0]), positive_index=5)
+
+
+class TestRankingMetrics:
+    def test_all_cutoffs_present(self):
+        out = ranking_metrics([1, 2, 3], ks=(1, 5))
+        assert set(out) == {"HR@1", "NDCG@1", "HR@5", "NDCG@5"}
+
+    def test_values_consistent(self):
+        ranks = [1, 6, 2]
+        out = ranking_metrics(ranks, ks=(5,))
+        assert out["HR@5"] == pytest.approx(hits_at_k(ranks, 5))
+        assert out["NDCG@5"] == pytest.approx(ndcg_at_k(ranks, 5))

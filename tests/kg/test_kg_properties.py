@@ -1,0 +1,105 @@
+"""Property-based tests for the KG substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import (
+    QueryEngine,
+    TripleStore,
+    UniformNegativeSampler,
+    holdout_incompleteness,
+    recover_all_triples,
+    split_triples,
+)
+
+
+triples_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 15),  # heads
+        st.integers(0, 4),  # relations
+        st.integers(16, 40),  # tails
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples_strategy)
+def test_store_membership_matches_input(triples):
+    store = TripleStore(triples)
+    for triple in triples:
+        assert triple in store
+    assert len(store) == len(set(triples))
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples_strategy)
+def test_queries_recover_entire_graph(triples):
+    """The paper's claim: triple + relation queries recover all triples."""
+    store = TripleStore(triples)
+    recovered = recover_all_triples(QueryEngine(store), store)
+    assert recovered == set((t.head, t.relation, t.tail) for t in store)
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples_strategy)
+def test_tails_consistent_with_relations_of(triples):
+    store = TripleStore(triples)
+    for head in store.heads():
+        for relation in store.relations_of(head):
+            assert store.tails(head, relation), (
+                "relation reported for head but no tails found"
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(triples_strategy, st.integers(0, 2**31 - 1))
+def test_split_partitions_exactly(triples, seed):
+    store = TripleStore(triples)
+    split = split_triples(store, 0.15, 0.15, np.random.default_rng(seed))
+    total = sum(split.sizes())
+    assert total == len(store)
+    # No triple appears in two parts.
+    parts = [
+        {(t.head, t.relation, t.tail) for t in part}
+        for part in (split.train, split.valid, split.test)
+    ]
+    assert not (parts[0] & parts[1])
+    assert not (parts[0] & parts[2])
+    assert not (parts[1] & parts[2])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    triples_strategy,
+    st.floats(0.0, 0.9),
+    st.integers(0, 2**31 - 1),
+)
+def test_holdout_preserves_heads_and_partitions(triples, fraction, seed):
+    store = TripleStore(triples)
+    observed, missing = holdout_incompleteness(store, fraction, np.random.default_rng(seed))
+    assert len(observed) + len(missing) == len(store)
+    assert observed.heads() == store.heads()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 2), st.integers(0, 9)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(0, 2**31 - 1),
+)
+def test_negative_sampler_never_returns_the_positive(triples, seed):
+    positives = np.asarray(triples, dtype=np.int64)
+    sampler = UniformNegativeSampler(
+        num_entities=10, num_relations=3, rng=np.random.default_rng(seed)
+    )
+    negatives = sampler.corrupt_batch(positives)
+    assert not np.any(np.all(negatives == positives, axis=1))
+    assert negatives[:, 0].max() < 10 and negatives[:, 2].max() < 10
+    assert negatives[:, 1].max() < 3
+    assert negatives.min() >= 0

@@ -1,0 +1,120 @@
+"""Tests for attribute-implication rule mining and completion."""
+
+import numpy as np
+import pytest
+
+from repro.kg import Rule, RuleCompleter, RuleMiner, TripleStore
+
+
+def implication_store():
+    """10 items: relation 0 value determines relation 1 value."""
+    triples = []
+    for item in range(10):
+        group = item % 2
+        triples.append((item, 0, 100 + group))  # body: two possible values
+        triples.append((item, 1, 200 + group))  # head: determined by body
+        triples.append((item, 2, 300 + item))  # noise: unique values
+    return TripleStore(triples)
+
+
+class TestRuleMiner:
+    def test_finds_deterministic_implication(self):
+        rules = RuleMiner(min_support=3, min_confidence=0.9).mine(implication_store())
+        found = {
+            (r.body_relation, r.body_value, r.head_relation, r.head_value)
+            for r in rules
+        }
+        assert (0, 100, 1, 200) in found
+        assert (0, 101, 1, 201) in found
+
+    def test_confidence_and_support_values(self):
+        rules = RuleMiner(min_support=2, min_confidence=0.5).mine(implication_store())
+        rule = next(
+            r for r in rules if (r.body_relation, r.body_value) == (0, 100)
+            and r.head_relation == 1
+        )
+        assert rule.support == 5
+        assert rule.confidence == pytest.approx(1.0)
+
+    def test_no_same_relation_rules(self):
+        rules = RuleMiner(min_support=1, min_confidence=0.1).mine(implication_store())
+        assert all(r.body_relation != r.head_relation for r in rules)
+
+    def test_min_support_filters(self):
+        # Unique noise values can never reach support 2 as bodies.
+        rules = RuleMiner(min_support=2, min_confidence=0.1).mine(implication_store())
+        assert all(r.body_relation != 2 for r in rules)
+
+    def test_low_confidence_filtered(self):
+        # Make relation 0 -> relation 1 only 60% consistent.
+        triples = []
+        for item in range(10):
+            triples.append((item, 0, 100))
+            triples.append((item, 1, 200 if item < 6 else 201))
+        store = TripleStore(triples)
+        strict = RuleMiner(min_support=2, min_confidence=0.7).mine(store)
+        assert not any(
+            r.head_relation == 1 and r.head_value == 200 for r in strict
+        )
+        loose = RuleMiner(min_support=2, min_confidence=0.5).mine(store)
+        assert any(r.head_value == 200 for r in loose)
+
+    def test_sorted_by_confidence(self):
+        rules = RuleMiner(min_support=1, min_confidence=0.1).mine(implication_store())
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuleMiner(min_support=0)
+        with pytest.raises(ValueError):
+            RuleMiner(min_confidence=0.0)
+
+    def test_rule_str(self):
+        rule = Rule(0, 100, 1, 200, support=5, confidence=1.0)
+        assert "=>" in str(rule)
+
+
+class TestRuleCompleter:
+    @pytest.fixture
+    def completer(self):
+        rules = RuleMiner(min_support=3, min_confidence=0.9).mine(implication_store())
+        return RuleCompleter(rules)
+
+    def test_predicts_missing_value(self, completer):
+        # Item 20 has only the body fact; predict the head.
+        store = TripleStore([(20, 0, 100)])
+        predictions = completer.predict(store, 20, 1)
+        assert predictions
+        assert predictions[0][0] == 200
+
+    def test_no_prediction_without_matching_body(self, completer):
+        store = TripleStore([(20, 2, 300)])
+        assert completer.predict(store, 20, 1) == []
+
+    def test_votes_accumulate_confidence(self):
+        rules = [
+            Rule(0, 100, 1, 200, support=3, confidence=0.9),
+            Rule(2, 300, 1, 200, support=3, confidence=0.8),
+            Rule(3, 400, 1, 201, support=3, confidence=0.95),
+        ]
+        completer = RuleCompleter(rules)
+        store = TripleStore([(7, 0, 100), (7, 2, 300), (7, 3, 400)])
+        predictions = completer.predict(store, 7, 1)
+        # 200 gets 1.7 votes, 201 gets 0.95.
+        assert predictions[0] == (200, pytest.approx(1.7))
+
+    def test_complete_store_fills_only_missing(self, completer):
+        store = TripleStore([(20, 0, 100), (21, 0, 101), (21, 1, 999)])
+        completed = completer.complete_store(store, min_score=0.9)
+        assert (20, 1, 200) in completed  # inferred
+        assert (21, 1, 999) in completed  # existing kept
+        assert len(completed.tails(21, 1)) == 1  # not overwritten
+
+    def test_complete_store_respects_min_score(self, completer):
+        store = TripleStore([(20, 0, 100)])
+        nothing = completer.complete_store(store, min_score=5.0)
+        assert len(nothing) == len(store)
+
+    def test_num_rules(self, completer):
+        assert completer.num_rules > 0

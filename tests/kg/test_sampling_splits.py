@@ -1,0 +1,145 @@
+"""Tests for the edge sampler (Graph-learn substitute) and splits."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    EdgeSampler,
+    TripleStore,
+    holdout_incompleteness,
+    split_triples,
+)
+
+
+def dense_store(num_heads=20, num_relations=4, tails_per=3):
+    triples = []
+    for h in range(num_heads):
+        for r in range(num_relations):
+            for k in range(tails_per):
+                triples.append((h, r, 100 + (h * 7 + r * 3 + k) % 50))
+    return TripleStore(triples)
+
+
+class TestEdgeSampler:
+    def make(self, store=None, **kwargs):
+        store = store if store is not None else dense_store()
+        defaults = dict(
+            batch_size=16,
+            num_entities=200,
+            num_relations=4,
+            rng=np.random.default_rng(0),
+        )
+        defaults.update(kwargs)
+        return EdgeSampler.with_uniform(store, **defaults)
+
+    def test_epoch_covers_every_edge_once(self):
+        store = dense_store()
+        sampler = self.make(store)
+        seen = []
+        for batch in sampler.epoch():
+            seen.extend(map(tuple, batch.positives))
+        assert len(seen) == len(store)
+        assert set(seen) == {(t.head, t.relation, t.tail) for t in store}
+
+    def test_negatives_shape_matches(self):
+        sampler = self.make(negatives_per_edge=3)
+        batch = next(iter(sampler.epoch()))
+        assert batch.negatives.shape == (3, len(batch), 3)
+
+    def test_negatives_differ_from_positives(self):
+        sampler = self.make()
+        for batch in sampler.epoch():
+            assert not np.any(np.all(batch.negatives[0] == batch.positives, axis=1))
+
+    def test_shuffling_changes_order_between_epochs(self):
+        sampler = self.make()
+        first = [tuple(p) for b in sampler.epoch() for p in b.positives]
+        second = [tuple(p) for b in sampler.epoch() for p in b.positives]
+        assert first != second
+        assert set(first) == set(second)
+
+    def test_num_batches(self):
+        store = dense_store()  # 240 triples
+        assert self.make(store, batch_size=100).num_batches() == 3
+        sampler = EdgeSampler.with_uniform(
+            store, batch_size=100, num_entities=200, num_relations=4
+        )
+        sampler.drop_last = True
+        assert sampler.num_batches() == 2
+
+    def test_drop_last(self):
+        store = dense_store()
+        sampler = self.make(store, batch_size=100)
+        sampler.drop_last = True
+        batches = list(sampler.epoch())
+        assert all(len(b) == 100 for b in batches)
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            self.make(batch_size=0)
+        with pytest.raises(ValueError):
+            self.make(negatives_per_edge=0)
+        with pytest.raises(ValueError):
+            self.make(store=TripleStore())
+
+
+class TestSplitTriples:
+    def test_partition_is_exact(self):
+        store = dense_store()
+        split = split_triples(store, 0.1, 0.1, np.random.default_rng(0))
+        n_train, n_valid, n_test = split.sizes()
+        assert n_train + n_valid + n_test == len(store)
+        all_triples = {(t.head, t.relation, t.tail) for t in store}
+        got = set()
+        for part in (split.train, split.valid, split.test):
+            got |= {(t.head, t.relation, t.tail) for t in part}
+        assert got == all_triples
+
+    def test_train_covers_all_entities_and_relations(self):
+        store = dense_store()
+        split = split_triples(store, 0.2, 0.2, np.random.default_rng(1))
+        assert split.train.entities() == store.entities()
+        assert split.train.relations() == store.relations()
+
+    def test_fractions_respected_approximately(self):
+        store = dense_store(num_heads=50)
+        split = split_triples(store, 0.1, 0.1, np.random.default_rng(2))
+        n = len(store)
+        assert abs(len(split.valid) - 0.1 * n) <= 0.05 * n
+        assert abs(len(split.test) - 0.1 * n) <= 0.05 * n
+
+    def test_validates_fractions(self):
+        store = dense_store()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            split_triples(store, 0.6, 0.5, rng)
+        with pytest.raises(ValueError):
+            split_triples(store, -0.1, 0.1, rng)
+
+    def test_empty_store_raises(self):
+        with pytest.raises(ValueError):
+            split_triples(TripleStore(), 0.1, 0.1, np.random.default_rng(0))
+
+
+class TestHoldoutIncompleteness:
+    def test_partition_exact(self):
+        store = dense_store()
+        observed, missing = holdout_incompleteness(store, 0.2, np.random.default_rng(0))
+        assert len(observed) + len(missing) == len(store)
+        for t in missing:
+            assert (t.head, t.relation, t.tail) not in observed
+
+    def test_every_head_keeps_a_triple(self):
+        store = dense_store()
+        observed, _ = holdout_incompleteness(store, 0.9, np.random.default_rng(1))
+        assert observed.heads() == store.heads()
+
+    def test_fraction_zero_keeps_everything(self):
+        store = dense_store()
+        observed, missing = holdout_incompleteness(store, 0.0, np.random.default_rng(0))
+        assert len(missing) == 0
+        assert len(observed) == len(store)
+
+    def test_validates_fraction(self):
+        with pytest.raises(ValueError):
+            holdout_incompleteness(dense_store(), 1.0, np.random.default_rng(0))

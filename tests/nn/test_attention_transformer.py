@@ -1,0 +1,125 @@
+"""Unit tests for attention and the transformer encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadAttention,
+    Tensor,
+    TransformerConfig,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    check_gradients,
+)
+
+
+RNG = np.random.default_rng(21)
+
+
+def config(**overrides):
+    base = dict(dim=16, num_layers=2, num_heads=2, ffn_dim=32, dropout=0.0)
+    base.update(overrides)
+    return TransformerConfig(**base)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        mha = MultiHeadAttention(16, 4, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 16)))
+        assert mha(x).shape == (2, 5, 16)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_mask_blocks_padding(self):
+        """Changing a masked position must not change unmasked outputs."""
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(1))
+        mha.eval()
+        x = RNG.normal(size=(1, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        out1 = mha(Tensor(x), attention_mask=mask).data
+        x2 = x.copy()
+        x2[0, 2] += 100.0  # perturb a padded position
+        out2 = mha(Tensor(x2), attention_mask=mask).data
+        assert np.allclose(out1[0, :2], out2[0, :2], atol=1e-8)
+
+    def test_mask_shape_validated(self):
+        mha = MultiHeadAttention(8, 2, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 8)))
+        with pytest.raises(ValueError):
+            mha(x, attention_mask=np.ones((2, 5)))
+
+    def test_gradients_flow_through_attention(self):
+        mha = MultiHeadAttention(4, 2, rng=np.random.default_rng(2))
+        mha.eval()
+        x = Tensor(RNG.normal(size=(1, 3, 4)), requires_grad=True)
+        check_gradients(lambda inp: mha(inp), [x], atol=1e-4, rtol=1e-3)
+
+    def test_uniform_attention_for_identical_keys(self):
+        """With identical tokens, attention output is identical per position."""
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(3))
+        mha.eval()
+        token = RNG.normal(size=8)
+        x = Tensor(np.tile(token, (1, 6, 1)))
+        out = mha(x).data
+        assert np.allclose(out[0, 0], out[0, 5], atol=1e-10)
+
+
+class TestTransformerConfig:
+    def test_rejects_indivisible_dim(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(dim=10, num_heads=3)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(num_layers=0)
+
+
+class TestTransformerEncoder:
+    def test_output_shape(self):
+        enc = TransformerEncoder(config(), rng=RNG)
+        x = Tensor(RNG.normal(size=(3, 7, 16)))
+        assert enc(x).shape == (3, 7, 16)
+
+    def test_layer_count(self):
+        enc = TransformerEncoder(config(num_layers=3), rng=RNG)
+        layers = [m for m in enc.modules() if isinstance(m, TransformerEncoderLayer)]
+        assert len(layers) == 3
+
+    def test_deterministic_given_seed(self):
+        a = TransformerEncoder(config(), rng=np.random.default_rng(9))
+        b = TransformerEncoder(config(), rng=np.random.default_rng(9))
+        x = RNG.normal(size=(2, 4, 16))
+        assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_backward_reaches_all_parameters(self):
+        enc = TransformerEncoder(config(), rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 16)), requires_grad=True)
+        (enc(x) ** 2).mean().backward()
+        for name, param in enc.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+        assert x.grad is not None
+
+    def test_masked_positions_do_not_leak(self):
+        enc = TransformerEncoder(config(), rng=np.random.default_rng(4))
+        enc.eval()
+        x = RNG.normal(size=(1, 5, 16))
+        mask = np.array([[1, 1, 1, 0, 0]])
+        out1 = enc(Tensor(x), attention_mask=mask).data
+        x2 = x.copy()
+        x2[0, 4] = -x2[0, 4] * 7.0
+        out2 = enc(Tensor(x2), attention_mask=mask).data
+        assert np.allclose(out1[0, :3], out2[0, :3], atol=1e-8)
+
+    def test_dropout_only_in_training(self):
+        enc = TransformerEncoder(config(dropout=0.3), rng=np.random.default_rng(5))
+        x = RNG.normal(size=(1, 4, 16))
+        enc.eval()
+        out1 = enc(Tensor(x)).data
+        out2 = enc(Tensor(x)).data
+        assert np.allclose(out1, out2)
+        enc.train()
+        out3 = enc(Tensor(x)).data
+        out4 = enc(Tensor(x)).data
+        assert not np.allclose(out3, out4)

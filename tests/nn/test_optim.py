@@ -1,0 +1,137 @@
+"""Unit tests for optimizers and the warmup schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, AdamW, Linear, Parameter, SGD, Tensor, WarmupLinearSchedule
+from repro.nn import functional as F
+
+
+def quadratic_param(start=5.0):
+    """A single scalar parameter minimizing f(w) = w^2."""
+    return Parameter(np.array([start]))
+
+
+def run_steps(optimizer, param, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        (param**2).sum().backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = quadratic_param()
+        assert abs(run_steps(SGD([w], lr=0.1), w, 100)) < 1e-4
+
+    def test_momentum_accelerates(self):
+        w_plain, w_momentum = quadratic_param(), quadratic_param()
+        plain = abs(run_steps(SGD([w_plain], lr=0.01), w_plain, 50))
+        fast = abs(run_steps(SGD([w_momentum], lr=0.01, momentum=0.9), w_momentum, 50))
+        assert fast < plain
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        w.grad = np.zeros(1)  # pure decay step
+        opt.step()
+        assert w.data[0] < 1.0
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_skips_params_without_grad(self):
+        w = quadratic_param()
+        before = w.data.copy()
+        SGD([w], lr=0.1).step()
+        assert np.allclose(w.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = quadratic_param()
+        assert abs(run_steps(Adam([w], lr=0.3), w, 200)) < 1e-3
+
+    def test_bias_correction_first_step(self):
+        # After one step with grad g, Adam moves by ~lr * sign(g).
+        w = Parameter(np.array([1.0]))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.array([4.0])
+        opt.step()
+        assert w.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_fits_linear_regression(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(64, 4))
+        w_true = np.array([1.0, -2.0, 3.0, 0.5])
+        y = X @ w_true
+        model = Linear(4, 1, rng=np.random.default_rng(1))
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = F.mse_loss(model(Tensor(X)).reshape(64), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-6
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+
+class TestAdamW:
+    def test_decay_applied_decoupled(self):
+        w = Parameter(np.array([1.0]))
+        opt = AdamW([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1)
+        opt.step()
+        # Pure decay: data * (1 - lr*decay) = 0.95 (the Adam part is ~0).
+        assert w.data[0] == pytest.approx(0.95, abs=1e-6)
+
+    def test_decay_restored_after_step(self):
+        opt = AdamW([quadratic_param()], lr=0.1, weight_decay=0.5)
+        opt.parameters[0].grad = np.ones(1)
+        opt.step()
+        assert opt.weight_decay == 0.5
+
+
+class TestGradClipping:
+    def test_clips_to_max_norm(self):
+        w = Parameter(np.array([0.0, 0.0]))
+        opt = SGD([w], lr=0.1)
+        w.grad = np.array([3.0, 4.0])  # norm 5
+        pre = opt.clip_grad_norm(1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_no_clip_when_under(self):
+        w = Parameter(np.array([0.0]))
+        opt = SGD([w], lr=0.1)
+        w.grad = np.array([0.5])
+        opt.clip_grad_norm(1.0)
+        assert w.grad[0] == pytest.approx(0.5)
+
+
+class TestWarmupLinearSchedule:
+    def test_warmup_then_decay(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = WarmupLinearSchedule(opt, warmup_steps=2, total_steps=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(lrs[1:], lrs[2:]))
+
+    def test_validates_arguments(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(opt, warmup_steps=5, total_steps=0)
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(opt, warmup_steps=11, total_steps=10)

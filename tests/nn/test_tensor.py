@@ -1,0 +1,288 @@
+"""Unit tests for the autograd Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients, concat, stack, where
+from repro.nn.tensor import _unbroadcast
+
+
+RNG = np.random.default_rng(7)
+
+
+def randt(*shape, shift=0.0):
+    return Tensor(RNG.normal(size=shape) + shift, requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        assert np.allclose((Tensor([1.0, 2.0]) + 1.5).data, [2.5, 3.5])
+
+    def test_radd(self):
+        assert np.allclose((1.5 + Tensor([1.0])).data, [2.5])
+
+    def test_sub(self):
+        assert np.allclose((Tensor([5.0]) - Tensor([2.0])).data, [3.0])
+
+    def test_rsub(self):
+        assert np.allclose((10.0 - Tensor([4.0])).data, [6.0])
+
+    def test_mul(self):
+        assert np.allclose((Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])).data, [8.0, 15.0])
+
+    def test_div(self):
+        assert np.allclose((Tensor([8.0]) / Tensor([2.0])).data, [4.0])
+
+    def test_rdiv(self):
+        assert np.allclose((8.0 / Tensor([2.0])).data, [4.0])
+
+    def test_pow(self):
+        assert np.allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([3.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_sum_axis(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert np.allclose(x.sum(axis=0).data, [3.0, 5.0, 7.0])
+
+    def test_mean(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert np.isclose(x.mean().item(), 2.5)
+
+    def test_mean_axis_tuple(self):
+        x = Tensor(np.ones((2, 3, 4)))
+        assert np.allclose(x.mean(axis=(0, 1)).data, np.ones(4))
+
+    def test_max(self):
+        x = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        assert np.allclose(x.max(axis=1).data, [5.0, 3.0])
+
+    def test_relu(self):
+        assert np.allclose(Tensor([-1.0, 2.0]).relu().data, [0.0, 2.0])
+
+    def test_sigmoid_extremes_stable(self):
+        out = Tensor([1000.0, -1000.0]).sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert np.isclose(out[0], 1.0) and np.isclose(out[1], 0.0)
+
+    def test_clip(self):
+        assert np.allclose(Tensor([-2.0, 0.5, 3.0]).clip(-1, 1).data, [-1.0, 0.5, 1.0])
+
+    def test_reshape_and_transpose(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert x.reshape(3, 2).shape == (3, 2)
+        assert x.transpose().shape == (3, 2)
+        assert x.reshape((6,)).shape == (6,)
+
+    def test_getitem(self):
+        x = Tensor(np.arange(10, dtype=float))
+        assert np.allclose(x[2:5].data, [2.0, 3.0, 4.0])
+
+    def test_take_rows(self):
+        table = Tensor(np.arange(12, dtype=float).reshape(4, 3))
+        got = table.take_rows(np.array([[0, 3], [1, 1]]))
+        assert got.shape == (2, 2, 3)
+        assert np.allclose(got.data[0, 1], [9.0, 10.0, 11.0])
+
+    def test_concat(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))
+        assert concat([a, b], axis=1).shape == (2, 5)
+
+    def test_stack(self):
+        a, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        assert stack([a, b], axis=0).shape == (2, 3)
+
+    def test_where(self):
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        assert np.allclose(out.data, [1.0, 9.0])
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        x = randt(3)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_repr(self):
+        assert "requires_grad" in repr(randt(2))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestBackwardGradients:
+    """Central-difference checks for every differentiable op."""
+
+    def test_add(self):
+        check_gradients(lambda a, b: a + b, [randt(3, 4), randt(3, 4)])
+
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: a + b, [randt(3, 4), randt(4)])
+
+    def test_add_broadcast_keepdim(self):
+        check_gradients(lambda a, b: a + b, [randt(3, 4), randt(3, 1)])
+
+    def test_sub(self):
+        check_gradients(lambda a, b: a - b, [randt(2, 3), randt(2, 3)])
+
+    def test_mul_broadcast(self):
+        check_gradients(lambda a, b: a * b, [randt(2, 3), randt(3)])
+
+    def test_div(self):
+        check_gradients(lambda a, b: a / b, [randt(2, 3), randt(2, 3, shift=3.0)])
+
+    def test_pow(self):
+        check_gradients(lambda a: a**3, [randt(2, 3)])
+
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: a @ b, [randt(3, 4), randt(4, 5)])
+
+    def test_matmul_batched(self):
+        check_gradients(lambda a, b: a @ b, [randt(2, 3, 4), randt(2, 4, 5)])
+
+    def test_matmul_vec_mat(self):
+        check_gradients(lambda a, b: a @ b, [randt(4), randt(4, 5)])
+
+    def test_matmul_mat_vec(self):
+        check_gradients(lambda a, b: a @ b, [randt(3, 4), randt(4)])
+
+    def test_matmul_vec_vec(self):
+        check_gradients(lambda a, b: a @ b, [randt(4), randt(4)])
+
+    def test_sum(self):
+        check_gradients(lambda a: a.sum(), [randt(3, 4)])
+
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=1, keepdims=True), [randt(3, 4)])
+
+    def test_mean_axis(self):
+        check_gradients(lambda a: a.mean(axis=0), [randt(3, 4)])
+
+    def test_max_global(self):
+        # Distinct values so the argmax subgradient is unambiguous.
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda a: a.max(), [x])
+
+    def test_max_axis(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda a: a.max(axis=1), [x])
+
+    def test_exp_log(self):
+        check_gradients(lambda a: a.exp(), [randt(2, 3)])
+        check_gradients(lambda a: a.log(), [randt(2, 3, shift=3.0)])
+
+    def test_sqrt(self):
+        check_gradients(lambda a: a.sqrt(), [randt(2, 3, shift=3.0)])
+
+    def test_abs(self):
+        check_gradients(lambda a: a.abs(), [randt(2, 3, shift=2.0)])
+
+    def test_relu(self):
+        check_gradients(lambda a: a.relu(), [randt(2, 3, shift=1.0)])
+
+    def test_tanh_sigmoid_gelu(self):
+        check_gradients(lambda a: a.tanh(), [randt(2, 3)])
+        check_gradients(lambda a: a.sigmoid(), [randt(2, 3)])
+        check_gradients(lambda a: a.gelu(), [randt(2, 3)])
+
+    def test_clip(self):
+        check_gradients(lambda a: a.clip(-0.5, 0.5), [randt(2, 3, shift=2.0)])
+
+    def test_reshape(self):
+        check_gradients(lambda a: a.reshape(6), [randt(2, 3)])
+
+    def test_transpose(self):
+        check_gradients(lambda a: a.transpose(1, 0, 2), [randt(2, 3, 4)])
+
+    def test_swapaxes(self):
+        check_gradients(lambda a: a.swapaxes(0, 2), [randt(2, 3, 4)])
+
+    def test_getitem(self):
+        check_gradients(lambda a: a[1:3], [randt(4, 2)])
+
+    def test_getitem_fancy_repeated_index_accumulates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        y = x[np.array([0, 0, 1])]
+        y.sum().backward()
+        assert np.allclose(x.grad, [2.0, 1.0, 0.0])
+
+    def test_take_rows(self):
+        table = randt(5, 3)
+        ids = np.array([0, 2, 2, 4])
+        check_gradients(lambda t: t.take_rows(ids), [table])
+
+    def test_take_rows_repeated_accumulates(self):
+        table = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = table.take_rows(np.array([1, 1, 1]))
+        out.sum().backward()
+        assert np.allclose(table.grad[1], [3.0, 3.0])
+        assert np.allclose(table.grad[0], [0.0, 0.0])
+
+    def test_concat(self):
+        check_gradients(lambda a, b: concat([a, b], axis=1), [randt(2, 3), randt(2, 2)])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: stack([a, b], axis=0), [randt(3), randt(3)])
+
+    def test_where(self):
+        cond = np.array([[True, False, True]])
+        check_gradients(lambda a, b: where(cond, a, b), [randt(2, 3), randt(2, 3)])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = randt(3)
+        (x * 2).sum().backward()
+        first = x.grad.copy()
+        (x * 2).sum().backward()
+        assert np.allclose(x.grad, 2 * first)
+
+    def test_diamond_graph(self):
+        # x used twice: gradient must sum both paths.
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        assert np.allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_explicit_grad(self):
+        x = randt(2, 2)
+        y = x * 3.0
+        y.backward(np.ones((2, 2)) * 0.5)
+        assert np.allclose(x.grad, 1.5)
+
+
+class TestUnbroadcast:
+    def test_noop_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        assert _unbroadcast(np.ones((4, 2, 3)), (2, 3)).shape == (2, 3)
+        assert np.allclose(_unbroadcast(np.ones((4, 2, 3)), (2, 3)), 4.0)
+
+    def test_sums_size_one_axes(self):
+        out = _unbroadcast(np.ones((2, 3)), (2, 1))
+        assert out.shape == (2, 1)
+        assert np.allclose(out, 3.0)
+
+    def test_scalar_target(self):
+        assert _unbroadcast(np.ones((2, 3)), ()).shape == ()

@@ -1,0 +1,16 @@
+"""Session-scoped workbench for downstream-task tests (smoke preset)."""
+
+import pytest
+
+from repro.config import smoke_config
+from repro.pipeline import build_workbench
+
+
+@pytest.fixture(scope="session")
+def config():
+    return smoke_config()
+
+
+@pytest.fixture(scope="session")
+def workbench(config):
+    return build_workbench(config, pretrain_mlm=True)

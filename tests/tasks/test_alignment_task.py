@@ -1,0 +1,139 @@
+"""Tests for the product alignment task (Tables VI-VII protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_alignment_dataset
+from repro.tasks import ProductAlignmentTask
+from repro.text import pair_service_payload
+
+
+@pytest.fixture(scope="module")
+def dataset(workbench):
+    return build_alignment_dataset(
+        workbench.catalog,
+        workbench.titles,
+        category_id=0,
+        ranking_candidates=19,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def task(workbench, dataset, config):
+    return ProductAlignmentTask(
+        dataset,
+        workbench.tokenizer,
+        workbench.encoder_config,
+        server=workbench.server,
+        pretrained_state=workbench.mlm_state,
+        config=config.finetune_pair,
+    )
+
+
+@pytest.fixture(scope="module")
+def base_result(task):
+    return task.run("base")
+
+
+class TestAlignmentTask:
+    def test_result_structure(self, base_result, dataset):
+        assert base_result.variant == "base"
+        assert base_result.category_name == dataset.category_name
+        assert 0.0 <= base_result.accuracy <= 1.0
+        assert base_result.hits[1] <= base_result.hits[3] <= base_result.hits[10]
+
+    def test_pkgm_all_runs(self, task):
+        result = task.run("pkgm-all")
+        assert result.variant == "pkgm-all"
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_ranking_hits_bounded_by_candidates(self, base_result, dataset):
+        # 20 candidates total: Hit@10 can be < 1 but Hit@k is sane.
+        assert 0.0 <= base_result.hits[10] <= 1.0
+
+    def test_row_formats(self, base_result):
+        assert base_result.as_hit_row().startswith("base | ")
+        float(base_result.as_accuracy_cell())  # parseable percentage
+
+    def test_variant_requires_server(self, dataset, workbench, config):
+        task = ProductAlignmentTask(
+            dataset,
+            workbench.tokenizer,
+            workbench.encoder_config,
+            server=None,
+            config=config.finetune,
+        )
+        with pytest.raises(ValueError):
+            task.run("pkgm-r")
+
+    def test_unknown_split_rejected(self, task):
+        with pytest.raises(ValueError):
+            task.run("base", eval_split="validation")
+
+    def test_dev_split_runs(self, task):
+        result = task.run("base", eval_split="dev")
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_all_split_pools_test_and_dev(self, task, dataset):
+        pairs, cases = task._splits("all")
+        assert len(pairs) == len(dataset.test_c) + len(dataset.dev_c)
+        assert len(cases) == len(dataset.test_r) + len(dataset.dev_r)
+
+    def test_ranking_uses_logits_not_probabilities(self, workbench, dataset, config):
+        """Saturated sigmoids must not create artificial rank ties."""
+        import numpy as np
+
+        from repro.text import MiniBert, PairClassifier
+
+        encoder = MiniBert(workbench.encoder_config, rng=np.random.default_rng(0))
+        model = PairClassifier(encoder, rng=np.random.default_rng(0))
+        # Blow up the head so probabilities saturate to exactly 1.0.
+        model.classifier.weight.data *= 1e4
+        case = dataset.test_r[0]
+        task = ProductAlignmentTask(
+            dataset,
+            workbench.tokenizer,
+            workbench.encoder_config,
+            server=workbench.server,
+            config=config.finetune,
+        )
+        candidates = [case.positive] + list(case.candidates)
+        ids, mask, seg, _, _, _ = task._encode_pairs(candidates, "base")
+        probs = model.predict_proba(ids, attention_mask=mask, segment_ids=seg)
+        logits = model.predict_logits(ids, attention_mask=mask, segment_ids=seg)
+        # Probabilities saturate (ties); logits stay distinct.
+        assert len(np.unique(logits)) > len(np.unique(probs))
+
+
+class TestPairPayload:
+    def test_pair_payload_shape(self, workbench):
+        items = workbench.catalog.items
+        a = [items[0].entity_id, items[1].entity_id]
+        b = [items[2].entity_id, items[3].entity_id]
+        k, d = workbench.server.k, workbench.server.dim
+        payload = pair_service_payload(workbench.server, a, b, "pkgm-all")
+        assert payload.shape == (2, 4 * k, d)
+        assert pair_service_payload(workbench.server, a, b, "base") is None
+
+    def test_pair_payload_concatenates_sides(self, workbench):
+        from repro.text import service_payload
+
+        items = workbench.catalog.items
+        a, b = [items[0].entity_id], [items[2].entity_id]
+        pair = pair_service_payload(workbench.server, a, b, "pkgm-t")[0]
+        side_a = service_payload(workbench.server, a, "pkgm-t")[0]
+        side_b = service_payload(workbench.server, b, "pkgm-t")[0]
+        k = workbench.server.k
+        assert np.allclose(pair[:k], side_a)
+        assert np.allclose(pair[k:], side_b)
+
+    def test_length_mismatch_rejected(self, workbench):
+        items = workbench.catalog.items
+        with pytest.raises(ValueError):
+            pair_service_payload(
+                workbench.server,
+                [items[0].entity_id],
+                [items[1].entity_id, items[2].entity_id],
+                "pkgm-all",
+            )

@@ -1,0 +1,45 @@
+"""Unit tests for shared fine-tuning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import FineTuneConfig, minibatches
+
+
+class TestMinibatches:
+    def test_covers_every_index_once(self):
+        rng = np.random.default_rng(0)
+        seen = np.concatenate(list(minibatches(103, 10, rng)))
+        assert sorted(seen) == list(range(103))
+
+    def test_batch_sizes(self):
+        rng = np.random.default_rng(0)
+        batches = list(minibatches(25, 10, rng))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_shuffled(self):
+        rng = np.random.default_rng(1)
+        first = np.concatenate(list(minibatches(50, 50, rng)))
+        assert not np.array_equal(first, np.arange(50))
+
+    def test_different_epochs_differ(self):
+        rng = np.random.default_rng(2)
+        a = np.concatenate(list(minibatches(40, 8, rng)))
+        b = np.concatenate(list(minibatches(40, 8, rng)))
+        assert not np.array_equal(a, b)
+
+
+class TestFineTuneConfig:
+    def test_defaults_valid(self):
+        config = FineTuneConfig()
+        assert config.epochs >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(epochs=0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(max_length=2)

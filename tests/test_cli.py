@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("stats", "pretrain", "classify", "align", "recommend", "complete"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_preset_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["stats", "--preset", "bench"])
+        assert args.preset == "bench"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stats", "--preset", "huge"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_category_flag(self):
+        args = build_parser().parse_args(["align", "--category", "2"])
+        assert args.category == 2
+
+    def test_complete_fraction_flag(self):
+        args = build_parser().parse_args(["complete", "--fraction", "0.25"])
+        assert args.fraction == pytest.approx(0.25)
+
+    def test_presets_are_callables(self):
+        for factory in PRESETS.values():
+            config = factory()
+            assert config.pkgm.dim >= 1
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table IX" in out
+
+    def test_pretrain_saves_server(self, tmp_path, capsys):
+        path = tmp_path / "server.npz"
+        assert main(["pretrain", "--preset", "smoke", "--save", str(path)]) == 0
+        assert path.exists()
+        from repro.core import PKGMServer
+
+        server = PKGMServer.load(path)
+        assert server.dim >= 1
+
+    def test_complete_runs(self, capsys):
+        assert main(["complete", "--preset", "smoke", "--fraction", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Hit@10" in out
+
+    def test_classify_runs(self, capsys):
+        assert main(["classify", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "pkgm-all" in out
+
+    def test_align_runs(self, capsys):
+        assert main(["align", "--preset", "smoke", "--category", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Hit@10" in out
+        assert "pkgm-all" in out
+
+    def test_recommend_runs(self, capsys):
+        assert main(["recommend", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VIII" in out
+        assert "pkgm-r" in out
+
+    def test_seed_override_changes_catalog(self, capsys):
+        main(["stats", "--preset", "smoke", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["stats", "--preset", "smoke", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,82 @@
+"""Tests for experiment configs and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig, bench_config, default_config, smoke_config
+from repro.pipeline import build_workbench
+
+
+class TestConfigs:
+    def test_presets_construct(self):
+        for preset in (smoke_config, default_config, bench_config):
+            config = preset()
+            assert isinstance(config, ExperimentConfig)
+            assert config.pkgm.dim >= 1
+            assert config.key_relations >= 1
+
+    def test_smoke_is_smallest(self):
+        smoke, bench = smoke_config(), bench_config()
+        assert (
+            smoke.catalog.num_categories * smoke.catalog.products_per_category
+            < bench.catalog.num_categories * bench.catalog.products_per_category
+        )
+
+    def test_encoder_fits_pair_encoding(self):
+        """Pair max_length must fit within the encoder's max_length."""
+        for preset in (smoke_config, default_config, bench_config):
+            config = preset()
+            assert config.finetune_pair.max_length <= config.encoder_max_length
+            assert config.finetune.max_length <= config.encoder_max_length
+
+    def test_configs_are_frozen(self):
+        config = smoke_config()
+        with pytest.raises(Exception):
+            config.key_relations = 99
+
+
+class TestWorkbench:
+    @pytest.fixture(scope="class")
+    def workbench(self):
+        return build_workbench(smoke_config(), pretrain_mlm=True)
+
+    def test_all_artifacts_present(self, workbench):
+        assert len(workbench.catalog.items) > 0
+        assert workbench.pkgm.num_entities == len(workbench.catalog.entities)
+        assert workbench.server.k == workbench.config.key_relations
+        assert workbench.tokenizer.vocab_size > 5
+        assert workbench.encoder_config.vocab_size == workbench.tokenizer.vocab_size
+        assert workbench.encoder_config.service_dim == workbench.config.pkgm.dim
+
+    def test_pkgm_converged(self, workbench):
+        assert workbench.pkgm_history.improved()
+
+    def test_mlm_state_loadable(self, workbench):
+        from repro.text import MiniBert
+
+        encoder = MiniBert(workbench.encoder_config, rng=np.random.default_rng(9))
+        encoder.load_state_dict(workbench.mlm_state)  # must not raise
+
+    def test_mlm_ran(self, workbench):
+        assert len(workbench.mlm_losses) == workbench.config.mlm.epochs
+
+    def test_skip_mlm(self):
+        workbench = build_workbench(smoke_config(), pretrain_mlm=False)
+        assert workbench.mlm_losses == []
+        assert workbench.mlm_state  # state dict still available (fresh init)
+
+    def test_server_covers_every_item(self, workbench):
+        for item in workbench.catalog.items[:20]:
+            vectors = workbench.server.serve(item.entity_id)
+            assert vectors.triple_vectors.shape == (
+                workbench.config.key_relations,
+                workbench.config.pkgm.dim,
+            )
+
+    def test_deterministic(self):
+        a = build_workbench(smoke_config(), pretrain_mlm=False)
+        b = build_workbench(smoke_config(), pretrain_mlm=False)
+        assert np.allclose(
+            a.pkgm.triple_module.entity_embeddings.weight.data,
+            b.pkgm.triple_module.entity_embeddings.weight.data,
+        )

@@ -1,0 +1,105 @@
+"""Documentation and packaging lint: keep the public surface documented.
+
+These meta-tests fail when a new module, class, or example slips in
+without the documentation standard the rest of the repository holds.
+"""
+
+import ast
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(__file__).parent.parent
+SRC = ROOT / "src" / "repro"
+EXAMPLES = ROOT / "examples"
+BENCHMARKS = ROOT / "benchmarks"
+
+
+def all_submodules():
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return names
+
+
+class TestModuleDocstrings:
+    @pytest.mark.parametrize("name", all_submodules())
+    def test_module_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for path in SRC.rglob("*.py"):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        undocumented.append(f"{path.name}:{node.name}")
+        assert not undocumented, f"classes without docstrings: {undocumented}"
+
+    def test_public_functions_documented(self):
+        undocumented = []
+        for path in SRC.rglob("*.py"):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in tree.body:  # module-level functions only
+                if isinstance(node, ast.FunctionDef) and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        undocumented.append(f"{path.name}:{node.name}")
+        assert not undocumented, f"functions without docstrings: {undocumented}"
+
+
+class TestExamplesShape:
+    def test_every_example_has_docstring_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            tree = ast.parse(script.read_text(encoding="utf-8"))
+            assert ast.get_docstring(tree), f"{script.name} lacks a docstring"
+            names = {
+                node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+            }
+            assert "main" in names, f"{script.name} lacks a main()"
+
+    def test_examples_reference_run_command(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text(encoding="utf-8")
+            assert "Run:" in text, f"{script.name} lacks a Run: hint"
+
+
+class TestBenchmarksShape:
+    def test_every_table_bench_cites_paper_numbers(self):
+        for bench in BENCHMARKS.glob("bench_table*.py"):
+            text = bench.read_text(encoding="utf-8")
+            assert "paper" in text.lower(), f"{bench.name} lacks paper context"
+
+    def test_every_bench_records_a_table(self):
+        for bench in BENCHMARKS.glob("bench_*.py"):
+            text = bench.read_text(encoding="utf-8")
+            assert "record_table" in text, f"{bench.name} records nothing"
+
+    def test_every_paper_table_has_a_bench(self):
+        names = {p.name for p in BENCHMARKS.glob("bench_table*.py")}
+        for table in range(1, 10):
+            assert any(
+                f"table{table}" in name for name in names
+            ), f"paper Table {'I' * table} has no bench"
+
+
+class TestTopLevelDocs:
+    def test_required_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+            assert (ROOT / name).exists(), f"missing {name}"
+
+    def test_design_covers_every_table(self):
+        text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for roman in ("Table I", "Table II", "Table III", "Table IV", "Table V",
+                      "Table VI", "Table VII", "Table VIII", "Table IX"):
+            assert roman in text, f"DESIGN.md misses {roman}"
+
+    def test_experiments_covers_every_table(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for marker in ("TABLE1", "TABLE4", "TABLE8", "ABL_KGE", "ABL_RULES"):
+            assert marker in text, f"EXPERIMENTS.md misses {marker} block"

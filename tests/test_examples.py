@@ -1,0 +1,35 @@
+"""Integration test: the quickstart example runs end to end.
+
+The heavier examples (classification/alignment/recommendation) exercise
+the same code paths as the task tests and benches, so only the
+quickstart — which a new user runs first — is executed here.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs_and_demonstrates_completion():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "Generate the product KG" in out
+    assert "SELECT ?t WHERE" in out
+    assert "margin loss" in out
+    assert "service payload" in out
+    assert "true tail in top-5" in out
+
+
+def test_all_examples_importable():
+    """Every example compiles (no syntax errors / bad imports at parse)."""
+    for script in sorted(EXAMPLES.glob("*.py")):
+        source = script.read_text(encoding="utf-8")
+        compile(source, str(script), "exec")

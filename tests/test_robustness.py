@@ -1,0 +1,110 @@
+"""Failure-injection and robustness tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PKGM,
+    PKGMConfig,
+    PKGMServer,
+    PKGMTrainer,
+    TrainerConfig,
+)
+from repro.kg import TripleStore
+from repro.kg.io import load_kg_npz, load_triples_tsv
+
+
+class TestTrainerGuards:
+    def test_nan_loss_raises_floating_point_error(self):
+        """A poisoned embedding table must fail loudly, not train on NaN."""
+        store = TripleStore([(0, 0, 1), (1, 0, 2), (2, 0, 3)])
+        model = PKGM(5, 1, PKGMConfig(dim=4), rng=np.random.default_rng(0))
+        model.triple_module.entity_embeddings.weight.data[0, 0] = np.nan
+        trainer = PKGMTrainer(model, TrainerConfig(epochs=1, batch_size=4))
+        with pytest.raises(FloatingPointError):
+            trainer.train(store)
+
+    def test_training_on_single_triple_store(self):
+        """Degenerate but valid input: one triple still trains."""
+        store = TripleStore([(0, 0, 1)])
+        model = PKGM(3, 1, PKGMConfig(dim=4), rng=np.random.default_rng(0))
+        history = PKGMTrainer(model, TrainerConfig(epochs=2, batch_size=4)).train(store)
+        assert len(history.epoch_losses) == 2
+
+
+class TestCorruptArtifacts:
+    def test_load_truncated_npz_raises(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        path.write_bytes(b"PK\x03\x04 not a real archive")
+        with pytest.raises(Exception):
+            load_kg_npz(path)
+
+    def test_load_server_with_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "bad_server.npz"
+        np.savez_compressed(path, entity_table=np.zeros((3, 2)))
+        with pytest.raises(KeyError):
+            PKGMServer.load(path)
+
+    def test_tsv_with_embedded_tabs_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tr\tb\textra\n")
+        with pytest.raises(ValueError):
+            load_triples_tsv(path)
+
+
+class TestNumericEdgeCases:
+    def test_large_embedding_values_stay_finite(self):
+        """Scores remain finite even with extreme embeddings."""
+        model = PKGM(4, 2, PKGMConfig(dim=4), rng=np.random.default_rng(0))
+        model.triple_module.entity_embeddings.weight.data *= 1e150
+        score = model.score(np.array([[0, 0, 1]]))
+        assert np.isfinite(score.data).all()
+
+    def test_zero_dim_rejected_everywhere(self):
+        with pytest.raises(ValueError):
+            PKGMConfig(dim=0)
+
+    def test_softmax_all_equal_large(self):
+        from repro.nn import Tensor, functional as F
+
+        out = F.softmax(Tensor(np.full((2, 4), 1e300))).data
+        assert np.allclose(out, 0.25)
+
+    def test_adam_survives_zero_gradients(self):
+        from repro.nn import Adam, Parameter
+
+        w = Parameter(np.ones(3))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.zeros(3)
+        opt.step()
+        assert np.allclose(w.data, 1.0)
+
+
+class TestEmptyAndBoundaryInputs:
+    def test_empty_store_queries(self):
+        store = TripleStore()
+        assert store.tails(0, 0) == []
+        assert store.relations_of(0) == set()
+        assert len(store) == 0
+
+    def test_single_class_vocabulary(self):
+        from repro.text import WordTokenizer
+
+        tok = WordTokenizer([])
+        assert tok.vocab_size == 5  # specials only
+        ids, mask, _ = tok.encode(["unknown"], max_length=4)
+        assert ids[1] == tok.unk_id
+
+    def test_serve_item_with_no_triples(self):
+        """An item whose category has key relations but which itself has
+        none still gets service vectors (pure embedding math)."""
+        from repro.core import KeyRelationSelector
+
+        store = TripleStore([(0, 0, 5), (0, 1, 6)])
+        # Item 1 in the same category but with zero observed triples.
+        selector = KeyRelationSelector(store, {0: 0, 1: 0}, k=2)
+        model = PKGM(8, 2, PKGMConfig(dim=4), rng=np.random.default_rng(0))
+        server = PKGMServer(model, selector)
+        vectors = server.serve(1)
+        assert vectors.triple_vectors.shape == (2, 4)
+        assert np.isfinite(vectors.sequence()).all()

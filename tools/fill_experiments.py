@@ -1,0 +1,65 @@
+"""Inject measured benchmark tables into EXPERIMENTS.md.
+
+Each ``<!--KEY-->`` placeholder is replaced by the matching
+``benchmarks/results/<file>.txt`` contents, fenced as a code block.
+Re-runnable: the injected blocks are wrapped in markers so the script
+refreshes them on subsequent runs.
+
+Usage:  python tools/fill_experiments.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+TARGET = ROOT / "EXPERIMENTS.md"
+
+MAPPING = {
+    "TABLE1": "table1_service_semantics.txt",
+    "TABLE2": "table2_pretrain_stats.txt",
+    "TABLE3": "table3_classification_stats.txt",
+    "TABLE4": "table4_item_classification.txt",
+    "TABLE5": "table5_alignment_stats.txt",
+    "TABLE6": "table6_alignment_hitk.txt",
+    "TABLE7": "table7_alignment_accuracy.txt",
+    "TABLE8": "table8_recommendation.txt",
+    "TABLE9": "table9_recommendation_stats.txt",
+    "ABL_K": "ablation_key_relations.txt",
+    "ABL_COMPLETION": "ablation_completion.txt",
+    "ABL_KGE": "ablation_kge.txt",
+    "ABL_DIST": "ablation_distributed.txt",
+    "ABL_RULES": "ablation_rules.txt",
+    "EXT_ATTR": "extension_attribute_prediction.txt",
+}
+
+
+def block_for(key: str) -> str:
+    path = RESULTS / MAPPING[key]
+    if not path.exists():
+        return f"<!--{key}-->\n*(results file {path.name} not generated yet)*"
+    body = path.read_text(encoding="utf-8").rstrip()
+    return f"<!--{key}-->\n```text\n{body}\n```"
+
+
+def main() -> int:
+    text = TARGET.read_text(encoding="utf-8")
+    filled = 0
+    for key in MAPPING:
+        # Replace either the bare placeholder or a previously injected block.
+        pattern = re.compile(
+            rf"<!--{key}-->(?:\n```text\n.*?\n```)?", re.DOTALL
+        )
+        if pattern.search(text):
+            text = pattern.sub(lambda _: block_for(key), text, count=1)
+            filled += 1
+    TARGET.write_text(text, encoding="utf-8")
+    print(f"filled {filled}/{len(MAPPING)} blocks in {TARGET.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
