@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Embedding, Module, Parameter, Tensor
+from ..nn import Embedding, Module, Parameter, Tensor, no_grad
 from ..nn import functional as F
 from ..nn import init
 from .scorers import KGEModel
@@ -141,7 +141,8 @@ class MuRP(KGEModel):
         return self.score(heads, relations, tails).data
 
     def post_batch(self):
-        self.entities.weight.data = project_to_ball(self.entities.weight.data)
-        self.relation_translations.weight.data = project_to_ball(
-            self.relation_translations.weight.data
-        )
+        with no_grad():
+            self.entities.weight.data = project_to_ball(self.entities.weight.data)
+            self.relation_translations.weight.data = project_to_ball(
+                self.relation_translations.weight.data
+            )

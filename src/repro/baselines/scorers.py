@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Embedding, Module, Parameter, Tensor
+from ..nn import Embedding, Module, Parameter, Tensor, no_grad
 from ..nn import functional as F
 from ..nn import init
 
@@ -386,7 +386,8 @@ class TranSparse(KGEModel):
             keep = self._mask_rng.random((self.dim, self.dim)) < density
             np.fill_diagonal(keep, True)  # keep the identity backbone
             self._masks[relation] = keep.astype(np.float64)
-        self.matrices.data = self.matrices.data * self._masks
+        with no_grad():
+            self.matrices.data = self.matrices.data * self._masks
 
     def _masked_matrices(self, relations: np.ndarray) -> Tensor:
         gathered = self.matrices.take_rows(relations)
@@ -419,7 +420,8 @@ class TranSparse(KGEModel):
     def post_batch(self):
         self.entities.renormalize(1.0)
         # Re-apply masks: gradients may have filled zeroed entries.
-        self.matrices.data = self.matrices.data * self._masks
+        with no_grad():
+            self.matrices.data = self.matrices.data * self._masks
 
 
 SCORERS = {

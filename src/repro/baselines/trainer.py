@@ -13,7 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..kg import EdgeSampler, TripleStore
-from ..nn import Adam
+from ..nn import Adam, sanitizer
 from ..nn import functional as F
 from .scorers import KGEModel
 
@@ -28,6 +28,7 @@ class KGETrainerConfig:
     margin: float = 2.0
     negatives_per_edge: int = 1
     corrupt_relation_prob: float = 0.0
+    numeric_guard: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -46,7 +47,15 @@ class KGETrainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
 
     def train(self, store: TripleStore) -> List[float]:
-        """Train on ``store``; returns per-epoch mean losses."""
+        """Train on ``store``; returns per-epoch mean losses.
+
+        Arms the NaN/Inf sanitizer for the run when
+        ``config.numeric_guard`` or ``REPRO_NUMERIC_GUARD`` is set.
+        """
+        with sanitizer.guard(self.config.numeric_guard or sanitizer.env_enabled()):
+            return self._train(store)
+
+    def _train(self, store: TripleStore) -> List[float]:
         rng = np.random.default_rng(self.config.seed)
         sampler = EdgeSampler.with_uniform(
             store,

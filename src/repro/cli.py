@@ -11,8 +11,10 @@ writing Python:
     python -m repro.cli align                      # Tables VI-VII
     python -m repro.cli recommend                  # Table VIII
     python -m repro.cli complete                   # §II-D completion demo
+    python -m repro.cli lint src tests             # static-analysis gate
 
-All commands accept ``--preset {smoke,default,bench}`` and ``--seed``.
+Experiment commands accept ``--preset {smoke,default,bench}`` and
+``--seed``; ``lint`` takes the :mod:`repro.lint` options.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from .data import (
     generate_interactions,
 )
 from .kg import holdout_incompleteness, kg_statistics
+from .lint import cli as lint_cli
 from .pipeline import build_workbench
 from .tasks import (
     ItemClassificationTask,
@@ -214,6 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser("complete", help="completion-during-service demo")
     common(comp)
     comp.add_argument("--fraction", type=float, default=0.15)
+    lint = sub.add_parser(
+        "lint",
+        parents=[lint_cli.build_parser()],
+        add_help=False,
+        help="AST-based correctness linter (see repro.lint)",
+    )
+    lint.set_defaults(command="lint")
     return parser
 
 
@@ -224,6 +234,7 @@ COMMANDS = {
     "align": cmd_align,
     "recommend": cmd_recommend,
     "complete": cmd_complete,
+    "lint": lint_cli.run_lint,
 }
 
 

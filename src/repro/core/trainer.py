@@ -15,7 +15,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..kg import EdgeSampler, TripleStore
-from ..nn import Adam
+from ..nn import Adam, sanitizer
 from .pkgm import PKGM, PKGMConfig
 
 
@@ -30,6 +30,7 @@ class TrainerConfig:
     corrupt_relation_prob: float = 0.1
     filtered_negatives: bool = False
     entity_max_norm: Optional[float] = 1.0
+    numeric_guard: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -83,7 +84,19 @@ class PKGMTrainer:
 
         ``progress`` (epoch_index, mean_loss) is invoked after each
         epoch — handy for logging from examples and benches.
+
+        The NaN/Inf sanitizer (:mod:`repro.nn.sanitizer`) is armed for
+        the duration of the run when ``config.numeric_guard`` is set or
+        the ``REPRO_NUMERIC_GUARD`` environment flag is exported.
         """
+        with sanitizer.guard(self.config.numeric_guard or sanitizer.env_enabled()):
+            return self._train(store, progress)
+
+    def _train(
+        self,
+        store: TripleStore,
+        progress: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainingHistory:
         rng = np.random.default_rng(self.config.seed)
         sampler = EdgeSampler.with_uniform(
             store,

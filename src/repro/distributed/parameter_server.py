@@ -30,6 +30,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import PKGM
+from ..nn import no_grad
 from ..kg import EdgeSampler, TripleStore
 
 
@@ -319,13 +320,14 @@ class DistributedPKGMTrainer:
 
     def export_to_model(self) -> PKGM:
         """Copy the trained tables back into the wrapped PKGM."""
-        self.model.triple_module.entity_embeddings.weight.data = (
-            self.server.snapshot(PKGMWorker.ENTITY)
-        )
-        self.model.triple_module.relation_embeddings.weight.data = (
-            self.server.snapshot(PKGMWorker.RELATION)
-        )
-        self.model.relation_module.transfer_matrices.data = self.server.snapshot(
-            PKGMWorker.MATRIX
-        )
+        with no_grad():
+            self.model.triple_module.entity_embeddings.weight.data = (
+                self.server.snapshot(PKGMWorker.ENTITY)
+            )
+            self.model.triple_module.relation_embeddings.weight.data = (
+                self.server.snapshot(PKGMWorker.RELATION)
+            )
+            self.model.relation_module.transfer_matrices.data = self.server.snapshot(
+                PKGMWorker.MATRIX
+            )
         return self.model

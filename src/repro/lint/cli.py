@@ -1,0 +1,118 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 clean, 1 violations at error severity (or warnings under
+``--strict``), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import Linter
+from .registry import create_rules, get_rule_class, rule_names
+from .reporters import get_reporter
+
+#: Default per-rule options applied when linting this repository.  The
+#: seeded-RNG plumbing is allowed to exist; nothing else is exempt.
+DEFAULT_RULE_OPTIONS: dict = {}
+
+
+def build_parser(prog: str = "repro.lint") -> argparse.ArgumentParser:
+    """Argument parser, also reused as parent by ``repro lint``."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "AST-based correctness linter for the PKGM training stack "
+            "(seeded randomness, autograd hygiene, config schema drift, ...)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule by name (repeatable)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only the named rules (repeatable)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    """Render the registered-rules table shown by ``--list-rules``."""
+    lines = []
+    for name in rule_names():
+        cls = get_rule_class(name)
+        lines.append(f"{cls.code}  {name:24s} {cls.description}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    paths = args.paths or ["src"]
+    try:
+        rules = create_rules(
+            disable=args.disable, select=args.select, options=DEFAULT_RULE_OPTIONS
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    linter = Linter(rules=rules, root=args.root)
+    try:
+        result = linter.lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(get_reporter(args.format).render(result))
+    return result.exit_code(strict=args.strict)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.lint`` entry point."""
+    try:
+        return run_lint(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Reader (e.g. `... | head`) closed the pipe: not a lint failure,
+        # but stdout is unusable, so flush quietly and report "violations".
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1

@@ -1,0 +1,143 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with ``name``, ``code``, ``description``, and a
+``check(ctx)`` generator yielding :class:`~repro.lint.violations.Violation`
+objects.  Registering is one decorator::
+
+    @register
+    class MyRule(Rule):
+        name = "my-rule"
+        code = "R999"
+        description = "what it catches"
+
+        def check(self, ctx):
+            yield self.violation(ctx, node, "message")
+
+Per-rule knobs are plain instance attributes set in ``__init__``;
+:meth:`Rule.configure` overrides them by keyword (unknown keys raise,
+so configs cannot drift silently).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
+
+from .violations import Severity, Violation
+
+
+class Rule:
+    """Base class for AST lint rules."""
+
+    #: Stable kebab-case identifier used in reports and suppressions.
+    name: str = ""
+    #: Short code (``R001``-style) for terse output and docs tables.
+    code: str = ""
+    #: One-line human description (shown by ``--list-rules``).
+    description: str = ""
+    #: Severity assigned to this rule's violations unless overridden.
+    default_severity: Severity = Severity.ERROR
+
+    def __init__(self) -> None:
+        self.severity = self.default_severity
+
+    def configure(self, **options) -> "Rule":
+        """Override rule attributes by keyword; unknown keys raise."""
+        for key, value in options.items():
+            if key == "severity":
+                self.severity = Severity.parse(value)
+                continue
+            if not hasattr(self, key) or key.startswith("_"):
+                raise ValueError(f"rule {self.name!r} has no option {key!r}")
+            setattr(self, key, value)
+        return self
+
+    def check(self, ctx) -> Iterator[Violation]:
+        """Yield violations for one module (see ``engine.ModuleContext``)."""
+        raise NotImplementedError
+
+    def violation(
+        self,
+        ctx,
+        node: Union[ast.AST, int],
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node`` (or a line no)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Violation(
+            path=ctx.display_path,
+            line=line,
+            col=col,
+            rule=self.name,
+            message=message,
+            severity=self.severity if severity is None else severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the global registry."""
+    if not cls.name or not cls.code:
+        raise ValueError(f"rule {cls.__name__} must define 'name' and 'code'")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def rule_names() -> List[str]:
+    """All registered rule names, sorted."""
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def get_rule_class(name: str) -> Type[Rule]:
+    """Look up one registered rule class by name."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {name!r}; known rules: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def create_rules(
+    disable: Sequence[str] = (),
+    select: Sequence[str] = (),
+    options: Optional[Dict[str, Dict]] = None,
+) -> List[Rule]:
+    """Instantiate the registered rules.
+
+    ``select`` (if non-empty) whitelists rule names; ``disable`` removes
+    names; ``options`` maps rule name -> keyword overrides passed to
+    :meth:`Rule.configure`.
+    """
+    _load_builtin_rules()
+    for name in list(disable) + list(select):
+        get_rule_class(name)  # validate early with a helpful error
+    chosen = []
+    for name in sorted(_REGISTRY):
+        if select and name not in select:
+            continue
+        if name in disable:
+            continue
+        rule = _REGISTRY[name]()
+        overrides = (options or {}).get(name)
+        if overrides:
+            rule.configure(**overrides)
+        chosen.append(rule)
+    return chosen
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules so their ``@register`` runs."""
+    from . import rules  # noqa: F401  (import side effect registers rules)

@@ -1,0 +1,64 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Type
+
+from .engine import LintResult
+
+
+class Reporter:
+    """Base reporter: turns a result into a printable string."""
+
+    format_name: str = ""
+
+    def render(self, result: LintResult) -> str:
+        raise NotImplementedError
+
+
+class TextReporter(Reporter):
+    """Human-readable ``path:line:col: severity [rule] message`` lines."""
+
+    format_name = "text"
+
+    def render(self, result: LintResult) -> str:
+        lines = [violation.format() for violation in result.violations]
+        noun = "file" if result.files_checked == 1 else "files"
+        lines.append(
+            f"checked {result.files_checked} {noun}: "
+            f"{result.error_count} error(s), {result.warning_count} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+class JSONReporter(Reporter):
+    """Machine-readable report for CI annotation tooling."""
+
+    format_name = "json"
+
+    def render(self, result: LintResult) -> str:
+        payload = {
+            "files_checked": result.files_checked,
+            "errors": result.error_count,
+            "warnings": result.warning_count,
+            "violations": [violation.to_dict() for violation in result.violations],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_REPORTERS: Dict[str, Type[Reporter]] = {
+    TextReporter.format_name: TextReporter,
+    JSONReporter.format_name: JSONReporter,
+}
+
+
+def get_reporter(format_name: str) -> Reporter:
+    """Instantiate the reporter for ``format_name`` (``text``/``json``)."""
+    try:
+        return _REPORTERS[format_name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown report format {format_name!r}; "
+            f"expected one of {sorted(_REPORTERS)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry` via the ``@register`` decorator side effect.
+"""
+
+from . import (  # noqa: F401
+    config_keys,
+    defaults,
+    exceptions,
+    exports,
+    randomness,
+    tensors,
+)

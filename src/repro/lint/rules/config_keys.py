@@ -1,0 +1,137 @@
+"""``config-key-drift``: string config-key access that the schema lacks.
+
+The experiment configuration is a tree of frozen dataclasses rooted at
+:class:`repro.config.ExperimentConfig`.  Attribute access on them is
+checked by Python itself, but *string-keyed* access —
+``getattr(config, "learning_rte")``, ``config["epochs"]``,
+``dataclasses.replace(config, epochz=...)`` — fails only at runtime,
+typically hours into a training run.  This rule resolves the schema (the
+union of every field name across the config dataclass tree) and flags
+string keys used against config-ish receivers (names matching
+``config``/``cfg``/``conf``, or attributes like ``self.config``) that do
+not exist in the schema.
+
+The schema is imported lazily from :mod:`repro.config`; tests (or other
+codebases) can inject an explicit ``keys`` set via rule options.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from typing import FrozenSet, Iterator, Optional
+
+from ..registry import Rule, register
+from ..violations import Violation
+
+_CONFIG_NAME = re.compile(r"(^|_)(config|cfg|conf)(_|$)", re.IGNORECASE)
+
+
+def _schema_from_repro_config() -> FrozenSet[str]:
+    """Collect every field name in the ExperimentConfig dataclass tree."""
+    from repro.config import ExperimentConfig
+
+    keys = set()
+    seen = set()
+
+    def walk(cls) -> None:
+        if cls in seen or not dataclasses.is_dataclass(cls):
+            return
+        seen.add(cls)
+        try:
+            instance = cls()
+        except (TypeError, ValueError):
+            # Dataclass with required fields: record its keys but skip
+            # walking nested defaults we cannot construct.
+            instance = None
+        for field in dataclasses.fields(cls):
+            keys.add(field.name)
+            if instance is not None:
+                value = getattr(instance, field.name, None)
+                if dataclasses.is_dataclass(value):
+                    walk(type(value))
+
+    walk(ExperimentConfig)
+    return frozenset(keys)
+
+
+def _receiver_is_configish(expr: ast.expr) -> bool:
+    """Heuristic: does ``expr`` look like a config object?"""
+    if isinstance(expr, ast.Name):
+        return bool(_CONFIG_NAME.search(expr.id))
+    if isinstance(expr, ast.Attribute):
+        return bool(_CONFIG_NAME.search(expr.attr))
+    return False
+
+
+@register
+class ConfigKeyDriftRule(Rule):
+    """Flags string config keys absent from the repro.config schema."""
+
+    name = "config-key-drift"
+    code = "R004"
+    description = "string config key that does not exist on the config schema"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Explicit schema override (set in tests); ``None`` = resolve
+        #: lazily from repro.config on first use.
+        self.keys: Optional[FrozenSet[str]] = None
+
+    def _schema(self) -> FrozenSet[str]:
+        if self.keys is None:
+            self.keys = _schema_from_repro_config()
+        return self.keys
+
+    def check(self, ctx) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Subscript):
+                yield from self._check_subscript(ctx, node)
+
+    def _check_call(self, ctx, node: ast.Call) -> Iterator[Violation]:
+        func = node.func
+        func_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        # getattr/setattr/hasattr(config, "key"[, ...])
+        if func_name in {"getattr", "setattr", "hasattr"} and len(node.args) >= 2:
+            receiver, key = node.args[0], node.args[1]
+            if (
+                _receiver_is_configish(receiver)
+                and isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value not in self._schema()
+            ):
+                yield self._drift(ctx, key, key.value)
+        # dataclasses.replace(config, key=...)
+        elif func_name == "replace" and node.args:
+            receiver = node.args[0]
+            if _receiver_is_configish(receiver):
+                for keyword in node.keywords:
+                    if keyword.arg is not None and keyword.arg not in self._schema():
+                        yield self._drift(ctx, keyword.value, keyword.arg)
+
+    def _check_subscript(self, ctx, node: ast.Subscript) -> Iterator[Violation]:
+        key = node.slice
+        if (
+            _receiver_is_configish(node.value)
+            and isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and key.value not in self._schema()
+        ):
+            yield self._drift(ctx, node, key.value)
+
+    def _drift(self, ctx, node: ast.AST, key: str) -> Violation:
+        return self.violation(
+            ctx,
+            node,
+            f"config key {key!r} does not exist on the repro.config schema; "
+            "likely a typo or stale key",
+        )

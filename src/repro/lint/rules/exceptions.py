@@ -1,0 +1,69 @@
+"""``bare-except``/``swallowed-exception``: silent failure in hot paths.
+
+A ``try: ... except: pass`` around a training step hides the exact
+failures the numeric sanitizer exists to surface (NaN losses, shape
+mismatches) and even swallows ``KeyboardInterrupt``.  Two findings:
+
+* **bare except** — ``except:`` with no exception type, anywhere;
+* **swallowed exception** — a handler whose body is only
+  ``pass``/``...``/``continue``, i.e. the error vanishes without being
+  logged, re-raised, or recorded.
+
+Swallowed exceptions are errors inside the configured ``hot_paths``
+(the serving/training core: ``core/``, ``distributed/``, ``kg/``) and
+warnings elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..registry import Rule, register
+from ..violations import Severity, Violation
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+@register
+class BareExceptRule(Rule):
+    """Flags bare ``except:`` and handlers that swallow errors."""
+
+    name = "bare-except"
+    code = "R005"
+    description = "bare or silently-swallowed exception handler"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Path fragments where swallowing is an error, not a warning.
+        self.hot_paths: Tuple[str, ...] = ("core/", "distributed/", "kg/")
+
+    def check(self, ctx) -> Iterator[Violation]:
+        in_hot_path = any(fragment in ctx.display_path for fragment in self.hot_paths)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                )
+                continue
+            if all(_is_noop(stmt) for stmt in node.body):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "exception handler silently swallows the error; log, "
+                    "re-raise, or record it",
+                    severity=Severity.ERROR if in_hot_path else Severity.WARNING,
+                )

@@ -1,0 +1,64 @@
+"""Violation and severity primitives shared by every lint rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+class Severity(enum.IntEnum):
+    """How serious a violation is.
+
+    ``ERROR`` violations fail the lint run (non-zero exit); ``WARNING``
+    violations are reported but only fail under ``--strict``.
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: Union[str, "Severity"]) -> "Severity":
+        """Parse ``"error"`` / ``"warning"`` (case-insensitive)."""
+        if isinstance(text, Severity):
+            return text
+        try:
+            return cls[str(text).strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[level.name.lower() for level in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule, a location, and a message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """Render as the classic ``path:line:col: severity [rule] msg``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-serializable representation (used by the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

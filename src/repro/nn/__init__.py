@@ -5,7 +5,7 @@ reverse-mode autograd :class:`Tensor`, layers, a transformer encoder,
 and the optimizers the paper uses.
 """
 
-from . import functional, init
+from . import functional, init, sanitizer
 from .attention import MultiHeadAttention
 from .gradcheck import check_gradients, numeric_gradient
 from .layers import (
@@ -22,7 +22,18 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import SGD, Adam, AdamW, Optimizer, WarmupLinearSchedule
-from .tensor import Tensor, concat, ensure_tensor, ones, stack, where, zeros
+from .sanitizer import NumericGuardError
+from .tensor import (
+    Tensor,
+    concat,
+    ensure_tensor,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    stack,
+    where,
+    zeros,
+)
 from .transformer import TransformerConfig, TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
@@ -36,6 +47,7 @@ __all__ = [
     "MLP",
     "Module",
     "MultiHeadAttention",
+    "NumericGuardError",
     "Optimizer",
     "Parameter",
     "ReLU",
@@ -53,8 +65,11 @@ __all__ = [
     "ensure_tensor",
     "functional",
     "init",
+    "is_grad_enabled",
+    "no_grad",
     "numeric_gradient",
     "ones",
+    "sanitizer",
     "stack",
     "where",
     "zeros",

@@ -14,7 +14,7 @@ import numpy as np
 from . import functional as F
 from .layers import Dropout, Linear
 from .module import Module
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class MultiHeadAttention(Module):
@@ -66,8 +66,9 @@ class MultiHeadAttention(Module):
         self.out = Linear(dim, dim, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
         if tie_qk_init:
-            self.query.weight.data = self.query.weight.data * qk_init_scale
-            self.key.weight.data = self.query.weight.data.copy()
+            with no_grad():
+                self.query.weight.data = self.query.weight.data * qk_init_scale
+                self.key.weight.data = self.query.weight.data.copy()
 
     def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
         """Attend over ``x`` of shape (batch, seq, dim).

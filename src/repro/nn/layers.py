@@ -14,7 +14,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class Linear(Module):
@@ -90,7 +90,8 @@ class Embedding(Module):
         """
         norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
         scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
-        self.weight.data = self.weight.data * scale
+        with no_grad():
+            self.weight.data = self.weight.data * scale
 
 
 class LayerNorm(Module):

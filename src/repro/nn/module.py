@@ -14,7 +14,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -126,7 +126,8 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"expected {param.shape}, got {value.shape}"
                 )
-            param.data = value.astype(param.data.dtype).copy()
+            with no_grad():
+                param.data = value.astype(param.data.dtype).copy()
 
     # ------------------------------------------------------------------
     # Call protocol

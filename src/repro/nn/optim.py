@@ -11,7 +11,9 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from . import sanitizer as _sanitizer
 from .module import Parameter
+from .tensor import no_grad
 
 
 class Optimizer:
@@ -68,18 +70,23 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for param in self.parameters:
-            if param.grad is None:
-                continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                vel = self._velocity.get(id(param))
-                vel = self.momentum * vel + grad if vel is not None else grad
-                self._velocity[id(param)] = vel
-                grad = vel
-            param.data = param.data - self.lr * grad
+        with no_grad():
+            for param in self.parameters:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if _sanitizer.ENABLED:
+                    _sanitizer.check_update("SGD.step", param, grad=grad)
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * param.data
+                if self.momentum:
+                    vel = self._velocity.get(id(param))
+                    vel = self.momentum * vel + grad if vel is not None else grad
+                    self._velocity[id(param)] = vel
+                    grad = vel
+                param.data = param.data - self.lr * grad
+                if _sanitizer.ENABLED:
+                    _sanitizer.check_update("SGD.step", param, update=param.data)
 
 
 class Adam(Optimizer):
@@ -106,22 +113,27 @@ class Adam(Optimizer):
         t = self._step_count
         bias1 = 1.0 - self.beta1**t
         bias2 = 1.0 - self.beta2**t
-        for param in self.parameters:
-            if param.grad is None:
-                continue
-            grad = param.grad
-            if self.weight_decay:
-                # L2-style decay folded into the gradient (classic Adam).
-                grad = grad + self.weight_decay * param.data
-            key = id(param)
-            m = self._m.get(key)
-            v = self._v.get(key)
-            m = self.beta1 * m + (1 - self.beta1) * grad if m is not None else (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad**2 if v is not None else (1 - self.beta2) * grad**2
-            self._m[key], self._v[key] = m, v
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        with no_grad():
+            for param in self.parameters:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if _sanitizer.ENABLED:
+                    _sanitizer.check_update("Adam.step", param, grad=grad)
+                if self.weight_decay:
+                    # L2-style decay folded into the gradient (classic Adam).
+                    grad = grad + self.weight_decay * param.data
+                key = id(param)
+                m = self._m.get(key)
+                v = self._v.get(key)
+                m = self.beta1 * m + (1 - self.beta1) * grad if m is not None else (1 - self.beta1) * grad
+                v = self.beta2 * v + (1 - self.beta2) * grad**2 if v is not None else (1 - self.beta2) * grad**2
+                self._m[key], self._v[key] = m, v
+                m_hat = m / bias1
+                v_hat = v / bias2
+                param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                if _sanitizer.ENABLED:
+                    _sanitizer.check_update("Adam.step", param, update=param.data)
 
 
 class AdamW(Adam):
@@ -131,9 +143,10 @@ class AdamW(Adam):
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
             if decay:
-                for param in self.parameters:
-                    if param.grad is not None:
-                        param.data = param.data * (1.0 - self.lr * decay)
+                with no_grad():
+                    for param in self.parameters:
+                        if param.grad is not None:
+                            param.data = param.data * (1.0 - self.lr * decay)
             super().step()
         finally:
             self.weight_decay = decay

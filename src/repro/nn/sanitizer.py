@@ -1,0 +1,167 @@
+"""Opt-in NaN/Inf numeric sanitizer for the autograd engine.
+
+PKGM's service vectors are only meaningful when every intermediate of
+``S_R(h, r) = M_r h - r`` stays finite; a single NaN produced deep in a
+forward pass silently poisons every embedding it touches.  This module
+provides a runtime guard that the tensor op dispatch
+(:meth:`repro.nn.tensor.Tensor._make`) and the optimizer steps
+(:mod:`repro.nn.optim`) consult on every operation:
+
+* **disabled** (the default) the guard is a single module-attribute
+  truthiness check per op — no array is inspected, no allocation
+  happens, so the hot path is effectively free;
+* **enabled** every op output, incoming gradient, and parameter update
+  is checked with ``np.isfinite`` and a :class:`NumericGuardError` is
+  raised naming the offending op and the shapes involved.
+
+Enable it one of three ways:
+
+* programmatically: ``sanitizer.enable()`` / ``sanitizer.disable()``;
+* scoped: ``with sanitizer.guard(): ...`` (restores the previous state
+  on exit, and never turns an already-enabled guard off);
+* environment: export ``REPRO_NUMERIC_GUARD=1`` — the trainers in
+  :mod:`repro.core.trainer` and :mod:`repro.baselines.trainer` check
+  the flag at the start of every run.
+
+This is the dynamic companion of the static checks in
+:mod:`repro.lint`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Environment variable that turns the guard on for trainer runs.
+ENV_FLAG = "REPRO_NUMERIC_GUARD"
+
+#: Module-level switch.  Read directly (``sanitizer.ENABLED``) on hot
+#: paths so the disabled case costs one attribute lookup.
+ENABLED = False
+
+
+class NumericGuardError(FloatingPointError):
+    """A non-finite value was produced while the sanitizer was active.
+
+    Attributes
+    ----------
+    op:
+        Name of the operation (or optimizer step) that produced or
+        received the non-finite value.
+    shapes:
+        Shapes of the arrays involved, for the diagnostic message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: Optional[str] = None,
+        shapes: Sequence[Tuple[int, ...]] = (),
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.shapes = tuple(shapes)
+
+
+def is_enabled() -> bool:
+    """Whether the sanitizer is currently active."""
+    return ENABLED
+
+
+def enable() -> None:
+    """Turn the sanitizer on globally."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off globally."""
+    global ENABLED
+    ENABLED = False
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_NUMERIC_GUARD`` requests the guard."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+class guard:
+    """Context manager that enables the sanitizer for a scope.
+
+    ``guard(False)`` is a no-op scope: it never *disables* an
+    already-active guard (an outer caller's request wins), it only
+    refrains from enabling.  The previous state is restored on exit.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._requested = bool(enabled)
+        self._previous = False
+
+    def __enter__(self) -> "guard":
+        global ENABLED
+        self._previous = ENABLED
+        ENABLED = ENABLED or self._requested
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global ENABLED
+        ENABLED = self._previous
+
+
+def _kinds(array: np.ndarray) -> str:
+    """Describe which non-finite kinds ``array`` contains (``NaN``/``Inf``)."""
+    found = []
+    if np.isnan(array).any():
+        found.append("NaN")
+    if np.isinf(array).any():
+        found.append("Inf")
+    return "/".join(found) or "non-finite value"
+
+
+def check_op(op: str, out: np.ndarray, operands: Iterable[np.ndarray] = ()) -> None:
+    """Raise :class:`NumericGuardError` if ``out`` is not finite.
+
+    Called from :meth:`repro.nn.tensor.Tensor._make` for every recorded
+    op while the guard is enabled.  ``operands`` are the parent arrays;
+    their shapes go into the diagnostic.
+    """
+    if np.isfinite(out).all():
+        return
+    shapes = tuple(np.shape(o) for o in operands)
+    raise NumericGuardError(
+        f"numeric guard: op '{op}' produced {_kinds(np.asarray(out))} "
+        f"(output shape {np.shape(out)}, operand shapes {list(shapes)})",
+        op=op,
+        shapes=shapes,
+    )
+
+
+def check_update(
+    where: str,
+    param,
+    grad: Optional[np.ndarray] = None,
+    update: Optional[np.ndarray] = None,
+) -> None:
+    """Guard one optimizer update for one parameter.
+
+    Raises if the incoming gradient or the post-step parameter value is
+    non-finite, naming the optimizer step and the parameter.
+    """
+    name = getattr(param, "name", None) or "<unnamed parameter>"
+    if grad is not None and not np.isfinite(grad).all():
+        raise NumericGuardError(
+            f"numeric guard: {where} received a gradient containing "
+            f"{_kinds(np.asarray(grad))} for parameter '{name}' "
+            f"(shape {np.shape(grad)})",
+            op=where,
+            shapes=(np.shape(grad),),
+        )
+    if update is not None and not np.isfinite(update).all():
+        raise NumericGuardError(
+            f"numeric guard: {where} produced {_kinds(np.asarray(update))} "
+            f"in parameter '{name}' (shape {np.shape(update)})",
+            op=where,
+            shapes=(np.shape(update),),
+        )

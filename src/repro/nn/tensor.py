@@ -23,7 +23,48 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import sanitizer as _sanitizer
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+#: Global autograd switch flipped by :class:`no_grad`.  When ``False``,
+#: :meth:`Tensor._make` stops recording the graph entirely.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager (and decorator) that disables graph recording.
+
+    Inside the scope, ops produce plain constant tensors — no parents,
+    no backward closures — which is both faster and the explicit signal
+    (enforced by the ``tensor-inplace-grad`` lint rule) that raw
+    ``.data`` writes such as optimizer updates and norm constraints are
+    intentionally invisible to autograd.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+    def __call__(self, fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record the autograd graph."""
+    return _GRAD_ENABLED
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -143,8 +184,11 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward_fns: Sequence[Callable[[np.ndarray], np.ndarray]],
+        op: str = "op",
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        if _sanitizer.ENABLED:
+            _sanitizer.check_op(op, data, [p.data for p in parents])
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, parents=parents, backward_fns=backward_fns)
@@ -162,12 +206,13 @@ class Tensor:
                 lambda g: _unbroadcast(g, self.shape),
                 lambda g: _unbroadcast(g, other.shape),
             ),
+            op="add",
         )
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        return Tensor._make(-self.data, (self,), (lambda g: -g,))
+        return Tensor._make(-self.data, (self,), (lambda g: -g,), op="neg")
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = ensure_tensor(other)
@@ -179,6 +224,7 @@ class Tensor:
                 lambda g: _unbroadcast(g, self.shape),
                 lambda g: _unbroadcast(-g, other.shape),
             ),
+            op="sub",
         )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
@@ -194,6 +240,7 @@ class Tensor:
                 lambda g: _unbroadcast(g * other.data, self.shape),
                 lambda g: _unbroadcast(g * self.data, other.shape),
             ),
+            op="mul",
         )
 
     __rmul__ = __mul__
@@ -208,6 +255,7 @@ class Tensor:
                 lambda g: _unbroadcast(g / other.data, self.shape),
                 lambda g: _unbroadcast(-g * self.data / (other.data**2), other.shape),
             ),
+            op="div",
         )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
@@ -221,6 +269,7 @@ class Tensor:
             out,
             (self,),
             (lambda g: g * exponent * self.data ** (exponent - 1),),
+            op="pow",
         )
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
@@ -244,7 +293,7 @@ class Tensor:
                 gb = np.swapaxes(self.data, -1, -2) @ g
             return _unbroadcast(gb, other.shape)
 
-        return Tensor._make(out, (self, other), (grad_a, grad_b))
+        return Tensor._make(out, (self, other), (grad_a, grad_b), op="matmul")
 
     # ------------------------------------------------------------------
     # Reductions
@@ -258,7 +307,7 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return np.broadcast_to(g_expanded, self.shape).copy()
 
-        return Tensor._make(out, (self,), (grad_fn,))
+        return Tensor._make(out, (self,), (grad_fn,), op="sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -282,39 +331,39 @@ class Tensor:
             mask /= mask.sum(axis=axis, keepdims=True)
             return g_expanded * mask
 
-        return Tensor._make(out, (self,), (grad_fn,))
+        return Tensor._make(out, (self,), (grad_fn,), op="max")
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out = np.exp(self.data)
-        return Tensor._make(out, (self,), (lambda g: g * out,))
+        return Tensor._make(out, (self,), (lambda g: g * out,), op="exp")
 
     def log(self) -> "Tensor":
         out = np.log(self.data)
-        return Tensor._make(out, (self,), (lambda g: g / self.data,))
+        return Tensor._make(out, (self,), (lambda g: g / self.data,), op="log")
 
     def sqrt(self) -> "Tensor":
         out = np.sqrt(self.data)
-        return Tensor._make(out, (self,), (lambda g: g * 0.5 / out,))
+        return Tensor._make(out, (self,), (lambda g: g * 0.5 / out,), op="sqrt")
 
     def abs(self) -> "Tensor":
         out = np.abs(self.data)
-        return Tensor._make(out, (self,), (lambda g: g * np.sign(self.data),))
+        return Tensor._make(out, (self,), (lambda g: g * np.sign(self.data),), op="abs")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out = self.data * mask
-        return Tensor._make(out, (self,), (lambda g: g * mask,))
+        return Tensor._make(out, (self,), (lambda g: g * mask,), op="relu")
 
     def tanh(self) -> "Tensor":
         out = np.tanh(self.data)
-        return Tensor._make(out, (self,), (lambda g: g * (1.0 - out**2),))
+        return Tensor._make(out, (self,), (lambda g: g * (1.0 - out**2),), op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
-        return Tensor._make(out, (self,), (lambda g: g * out * (1.0 - out),))
+        return Tensor._make(out, (self,), (lambda g: g * out * (1.0 - out),), op="sigmoid")
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation, as in BERT)."""
@@ -329,12 +378,12 @@ class Tensor:
             dt = (1.0 - t**2) * dinner
             return g * (0.5 * (1.0 + t) + 0.5 * x * dt)
 
-        return Tensor._make(out, (self,), (grad_fn,))
+        return Tensor._make(out, (self,), (grad_fn,), op="gelu")
 
     def clip(self, low: float, high: float) -> "Tensor":
         out = np.clip(self.data, low, high)
         mask = (self.data >= low) & (self.data <= high)
-        return Tensor._make(out, (self,), (lambda g: g * mask,))
+        return Tensor._make(out, (self,), (lambda g: g * mask,), op="clip")
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -343,7 +392,7 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out = self.data.reshape(shape)
-        return Tensor._make(out, (self,), (lambda g: g.reshape(self.shape),))
+        return Tensor._make(out, (self,), (lambda g: g.reshape(self.shape),), op="reshape")
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -352,11 +401,11 @@ class Tensor:
             axes = tuple(reversed(range(self.ndim)))
         inverse = tuple(np.argsort(axes))
         out = self.data.transpose(axes)
-        return Tensor._make(out, (self,), (lambda g: g.transpose(inverse),))
+        return Tensor._make(out, (self,), (lambda g: g.transpose(inverse),), op="transpose")
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         out = np.swapaxes(self.data, a, b)
-        return Tensor._make(out, (self,), (lambda g: np.swapaxes(g, a, b),))
+        return Tensor._make(out, (self,), (lambda g: np.swapaxes(g, a, b),), op="swapaxes")
 
     def __getitem__(self, index) -> "Tensor":
         out = self.data[index]
@@ -366,7 +415,7 @@ class Tensor:
             np.add.at(full, index, g)
             return full
 
-        return Tensor._make(out, (self,), (grad_fn,))
+        return Tensor._make(out, (self,), (grad_fn,), op="getitem")
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows (embedding lookup): ``out[i...] = self[indices[i...]]``.
@@ -383,7 +432,7 @@ class Tensor:
             np.add.at(full, indices.reshape(-1), g.reshape(-1, *self.shape[1:]))
             return full
 
-        return Tensor._make(out, (self,), (grad_fn,))
+        return Tensor._make(out, (self,), (grad_fn,), op="take_rows")
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -472,7 +521,9 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
 
         return grad_fn
 
-    return Tensor._make(out, tensors, tuple(make_fn(i) for i in range(len(tensors))))
+    return Tensor._make(
+        out, tensors, tuple(make_fn(i) for i in range(len(tensors))), op="concat"
+    )
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -486,7 +537,9 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
         return grad_fn
 
-    return Tensor._make(out, tensors, tuple(make_fn(i) for i in range(len(tensors))))
+    return Tensor._make(
+        out, tensors, tuple(make_fn(i) for i in range(len(tensors))), op="stack"
+    )
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -501,6 +554,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
             lambda g: _unbroadcast(g * condition, a.shape),
             lambda g: _unbroadcast(g * ~condition, b.shape),
         ),
+        op="where",
     )
 
 

@@ -17,6 +17,7 @@ from .integration import (
     vectors_per_item,
 )
 from .mlm import MLMConfig, MLMHead, MLMTrainer, mask_tokens
+from .pair_pretrain import PairPretrainConfig, PairPretrainer
 from .tokenizer import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, WordTokenizer
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "MiniBertConfig",
     "PAD",
     "PairClassifier",
+    "PairPretrainConfig",
+    "PairPretrainer",
     "SEP",
     "SPECIAL_TOKENS",
     "TextClassifier",
@@ -42,7 +45,3 @@ __all__ = [
     "validate_variant",
     "vectors_per_item",
 ]
-
-from .pair_pretrain import PairPretrainConfig, PairPretrainer  # noqa: E402
-
-__all__.extend(["PairPretrainConfig", "PairPretrainer"])

@@ -16,6 +16,7 @@ from repro.baselines import (
     make_scorer,
 )
 from repro.kg import TripleStore
+from repro.nn import no_grad
 
 
 NUM_ENTITIES, NUM_RELATIONS, DIM = 12, 4, 6
@@ -93,8 +94,9 @@ class TestFormulaValues:
         m = TransR(5, 2, 3, rng=np.random.default_rng(3))
         m.matrices.data[:] = np.eye(3)
         ref = TransE(5, 2, 3, rng=np.random.default_rng(3))
-        ref.entities.weight.data = m.entities.weight.data.copy()
-        ref.relations.weight.data = m.relations.weight.data.copy()
+        with no_grad():
+            ref.entities.weight.data = m.entities.weight.data.copy()
+            ref.relations.weight.data = m.relations.weight.data.copy()
         h, r, t = np.array([0]), np.array([1]), np.array([2])
         assert m.score(h, r, t).item() == pytest.approx(ref.score(h, r, t).item())
 

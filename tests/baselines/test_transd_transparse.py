@@ -5,6 +5,7 @@ import pytest
 
 from repro.baselines import TranSparse, TransD, TransE, make_scorer
 from repro.kg import TripleStore
+from repro.nn import no_grad
 
 
 NUM_ENTITIES, NUM_RELATIONS, DIM = 12, 4, 6
@@ -52,8 +53,9 @@ class TestTransD:
         model.entity_proj.weight.data[:] = 0.0
         model.relation_proj.weight.data[:] = 0.0
         reference = TransE(NUM_ENTITIES, NUM_RELATIONS, DIM, rng=np.random.default_rng(1))
-        reference.entities.weight.data = model.entities.weight.data.copy()
-        reference.relations.weight.data = model.relations.weight.data.copy()
+        with no_grad():
+            reference.entities.weight.data = model.entities.weight.data.copy()
+            reference.relations.weight.data = model.relations.weight.data.copy()
         h, r, t = np.array([0]), np.array([1]), np.array([2])
         assert model.score(h, r, t).item() == pytest.approx(
             reference.score(h, r, t).item()
@@ -84,7 +86,8 @@ class TestTranSparse:
         model.set_densities({0: 100, 1: 50, 2: 5, 3: 1})
         zero_mask = model._masks == 0.0
         # Simulate a gradient step filling everything, then post_batch.
-        model.matrices.data = model.matrices.data + 1.0
+        with no_grad():
+            model.matrices.data = model.matrices.data + 1.0
         model.post_batch()
         assert np.all(model.matrices.data[zero_mask] == 0.0)
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import PKGM, PKGMConfig, RelationQueryModule, TripleQueryModule
-from repro.nn import Tensor
+from repro.nn import Tensor, no_grad
 
 
 RNG = np.random.default_rng(0)
@@ -66,7 +66,8 @@ class TestTripleQueryModule:
         assert triple_module.relation_embeddings.weight.grad is not None
 
     def test_renormalize(self, triple_module):
-        triple_module.entity_embeddings.weight.data *= 100
+        with no_grad():
+            triple_module.entity_embeddings.weight.data *= 100
         triple_module.renormalize_entities(1.0)
         norms = np.linalg.norm(triple_module.entity_embeddings.weight.data, axis=1)
         assert np.all(norms <= 1.0 + 1e-9)

@@ -21,6 +21,7 @@ from repro.core import (
     pretrain_pkgm,
 )
 from repro.kg import holdout_incompleteness
+from repro.nn import no_grad
 
 
 class TestTraining:
@@ -259,9 +260,11 @@ class TestPKGMServer:
         entity = catalog.items[0].entity_id
         before = server.serve(entity).sequence().copy()
         original = model.triple_module.entity_embeddings.weight.data.copy()
-        model.triple_module.entity_embeddings.weight.data += 100.0
+        with no_grad():
+            model.triple_module.entity_embeddings.weight.data += 100.0
         after = server.serve(entity).sequence()
-        model.triple_module.entity_embeddings.weight.data = original
+        with no_grad():
+            model.triple_module.entity_embeddings.weight.data = original
         assert np.allclose(before, after)
 
     def test_relation_existence_score_orders(self, server, catalog):

@@ -1,0 +1,28 @@
+"""Shared helpers for the lint test suite."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Linter
+from repro.lint.registry import get_rule_class
+
+
+@pytest.fixture
+def lint_source():
+    """Lint a source snippet with a single named rule; returns violations.
+
+    Usage: ``lint_source("unseeded-randomness", code, path="mod.py")``.
+    Rule options (e.g. ``keys=...`` for config-key-drift) are forwarded
+    to ``Rule.configure``.
+    """
+
+    def _lint(rule_name, source, path="module.py", **options):
+        rule = get_rule_class(rule_name)()
+        if options:
+            rule.configure(**options)
+        linter = Linter(rules=[rule])
+        return linter.lint_source(textwrap.dedent(source), Path(path))
+
+    return _lint

@@ -1,0 +1,123 @@
+"""End-to-end tests for ``python -m repro.lint`` and ``repro lint``."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import build_parser, list_rules, main as lint_main
+
+CLEAN = """
+'''A clean module.'''
+
+
+def add(a, b):
+    return a + b
+"""
+
+DIRTY = """
+'''A module with a lint violation.'''
+import random
+
+
+def pick():
+    return random.random()
+"""
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A temp directory with one clean and one dirty module."""
+    (tmp_path / "clean.py").write_text(textwrap.dedent(CLEAN))
+    (tmp_path / "dirty.py").write_text(textwrap.dedent(DIRTY))
+    return tmp_path
+
+
+class TestModuleEntryPoint:
+    def test_clean_file_exits_zero(self, tree, capsys):
+        assert lint_main([str(tree / "clean.py")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, tree, capsys):
+        assert lint_main([str(tree / "dirty.py")]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-randomness" in out
+        assert "1 error(s)" in out
+
+    def test_directory_discovery(self, tree, capsys):
+        assert lint_main([str(tree)]) == 1
+        assert "checked 2 files" in capsys.readouterr().out
+
+    def test_json_format(self, tree, capsys):
+        assert lint_main(["--format", "json", str(tree / "dirty.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["violations"][0]["rule"] == "unseeded-randomness"
+
+    def test_disable_rule(self, tree):
+        assert lint_main(["--disable", "unseeded-randomness", str(tree)]) == 0
+
+    def test_select_other_rule(self, tree):
+        assert lint_main(["--select", "mutable-default-arg", str(tree)]) == 0
+
+    def test_unknown_rule_is_usage_error(self, tree, capsys):
+        assert lint_main(["--disable", "no-such-rule", str(tree)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "ghost")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert lint_main([str(bad)]) == 1
+        assert "syntax-error" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert code in out
+        assert list_rules() in out
+
+
+class TestReproSubcommand:
+    def test_repro_lint_clean(self, tree, capsys):
+        assert repro_main(["lint", str(tree / "clean.py")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_repro_lint_dirty(self, tree, capsys):
+        assert repro_main(["lint", str(tree / "dirty.py")]) == 1
+        assert "unseeded-randomness" in capsys.readouterr().out
+
+    def test_repro_lint_forwards_flags(self, tree):
+        assert repro_main(["lint", "--disable", "unseeded-randomness", str(tree)]) == 0
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.paths == []
+        assert args.format == "text"
+        assert not args.strict
+
+    def test_strict_promotes_warnings(self, tmp_path):
+        warn = tmp_path / "warn.py"
+        warn.write_text(
+            textwrap.dedent(
+                """
+                '''Module with a warning-severity violation.'''
+
+
+                def load(path):
+                    try:
+                        return open(path)
+                    except OSError:
+                        pass
+                """
+            )
+        )
+        assert lint_main([str(warn)]) == 0
+        assert lint_main(["--strict", str(warn)]) == 1

@@ -1,0 +1,129 @@
+"""Positive/negative fixtures for the config-key-drift rule (R004)."""
+
+RULE = "config-key-drift"
+
+#: Injected schema so the tests do not depend on repro.config's fields.
+KEYS = frozenset({"epochs", "learning_rate", "dim", "seed"})
+
+
+class TestPositives:
+    def test_getattr_typo(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def lr(config):
+                return getattr(config, "learning_rte", 1e-3)
+            """,
+            keys=KEYS,
+        )
+        assert len(violations) == 1
+        assert "learning_rte" in violations[0].message
+
+    def test_setattr_and_hasattr(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def patch(cfg):
+                if hasattr(cfg, "epochz"):
+                    setattr(cfg, "epochz", 10)
+            """,
+            keys=KEYS,
+        )
+        assert len(violations) == 2
+
+    def test_dataclasses_replace_keyword(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            import dataclasses
+
+            def bump(config):
+                return dataclasses.replace(config, epochz=100)
+            """,
+            keys=KEYS,
+        )
+        assert len(violations) == 1
+        assert "epochz" in violations[0].message
+
+    def test_subscript_key(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def read(config):
+                return config["lerning_rate"]
+            """,
+            keys=KEYS,
+        )
+        assert len(violations) == 1
+
+    def test_self_config_attribute_receiver(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            class Trainer:
+                def lr(self):
+                    return getattr(self.config, "learning_rat", 0.0)
+            """,
+            keys=KEYS,
+        )
+        assert len(violations) == 1
+
+
+class TestNegatives:
+    def test_valid_keys_are_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            import dataclasses
+
+            def tweak(config):
+                lr = getattr(config, "learning_rate", 1e-3)
+                return dataclasses.replace(config, epochs=5, seed=1)
+            """,
+            keys=KEYS,
+        )
+        assert violations == []
+
+    def test_non_config_receivers_are_ignored(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def read(row):
+                return row["whatever"], getattr(row, "anything", None)
+            """,
+            keys=KEYS,
+        )
+        assert violations == []
+
+    def test_dynamic_keys_are_ignored(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def read(config, key):
+                return getattr(config, key, None)
+            """,
+            keys=KEYS,
+        )
+        assert violations == []
+
+    def test_real_schema_resolves_from_repro_config(self, lint_source):
+        # Without an injected schema the rule walks repro.config's
+        # dataclass tree; 'pkgm' (a nested section) must be known.
+        violations = lint_source(
+            RULE,
+            """
+            def read(config):
+                return getattr(config, "pkgm", None)
+            """,
+        )
+        assert violations == []
+
+    def test_real_schema_still_flags_garbage(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def read(config):
+                return getattr(config, "definitely_not_a_field_xyz", None)
+            """,
+        )
+        assert len(violations) == 1

@@ -1,0 +1,96 @@
+"""Positive/negative fixtures for the mutable-default-arg rule (R002)."""
+
+RULE = "mutable-default-arg"
+
+
+class TestPositives:
+    def test_list_display_default(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def record(losses=[]):
+                return losses
+            """,
+        )
+        assert len(violations) == 1
+        assert "'losses'" in violations[0].message
+
+    def test_dict_and_set_defaults(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def configure(options={}, seen=set()):
+                return options, seen
+            """,
+        )
+        assert len(violations) == 2
+
+    def test_constructor_call_default(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def gather(out=list()):
+                return out
+            """,
+        )
+        assert len(violations) == 1
+        assert "list()" in violations[0].message
+
+    def test_keyword_only_default(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def train(*, history=[]):
+                return history
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_lambda_default(self, lint_source):
+        violations = lint_source(RULE, "f = lambda acc=[]: acc\n")
+        assert len(violations) == 1
+
+    def test_comprehension_default(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def ranks(ks=[k for k in (1, 3, 10)]):
+                return ks
+            """,
+        )
+        assert len(violations) == 1
+
+
+class TestNegatives:
+    def test_none_default_is_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def record(losses=None):
+                if losses is None:
+                    losses = []
+                return losses
+            """,
+        )
+        assert violations == []
+
+    def test_immutable_defaults_are_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def train(epochs=10, name="pkgm", ks=(1, 3, 10), frozen=frozenset()):
+                return epochs, name, ks, frozen
+            """,
+        )
+        assert violations == []
+
+    def test_mutable_literal_in_body_is_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def record():
+                losses = []
+                return losses
+            """,
+        )
+        assert violations == []

@@ -1,0 +1,102 @@
+"""Positive/negative fixtures for the export-drift rule (R006)."""
+
+RULE = "export-drift"
+
+
+class TestPositives:
+    def test_exported_name_never_bound(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from .tensor import Tensor
+
+            __all__ = ["Tensor", "Parameter"]
+            """,
+            path="src/pkg/__init__.py",
+        )
+        assert len(violations) == 1
+        assert "'Parameter'" in violations[0].message
+
+    def test_bound_public_name_missing_from_all(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from .tensor import Tensor
+            from .optim import Adam
+
+            __all__ = ["Tensor"]
+            """,
+            path="src/pkg/__init__.py",
+        )
+        assert len(violations) == 1
+        assert "'Adam'" in violations[0].message
+
+    def test_top_level_def_missing_from_all(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            __all__ = []
+
+            def helper():
+                return 1
+            """,
+            path="src/pkg/__init__.py",
+        )
+        assert len(violations) == 1
+        assert "'helper'" in violations[0].message
+
+
+class TestNegatives:
+    def test_synchronized_all_is_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from .tensor import Tensor as T
+
+            VERSION = "1.0"
+
+            class Thing:
+                pass
+
+            __all__ = ["T", "Thing", "VERSION"]
+            """,
+            path="src/pkg/__init__.py",
+        )
+        assert violations == []
+
+    def test_private_names_need_no_export(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from .tensor import Tensor
+            from . import _internal
+
+            _CACHE = {}
+
+            __all__ = ["Tensor"]
+            """,
+            path="src/pkg/__init__.py",
+        )
+        assert violations == []
+
+    def test_plain_modules_are_skipped(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from .tensor import Tensor
+
+            __all__ = ["Tensor", "Ghost"]
+            """,
+            path="src/pkg/module.py",
+        )
+        assert violations == []
+
+    def test_init_without_all_is_skipped(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from .tensor import Tensor
+            """,
+            path="src/pkg/__init__.py",
+        )
+        assert violations == []

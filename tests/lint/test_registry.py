@@ -1,0 +1,62 @@
+"""Tests for the rule registry and per-rule configuration."""
+
+import pytest
+
+from repro.lint import Severity
+from repro.lint.registry import create_rules, get_rule_class, rule_names
+
+EXPECTED_RULES = {
+    "unseeded-randomness",
+    "mutable-default-arg",
+    "tensor-inplace-grad",
+    "config-key-drift",
+    "bare-except",
+    "export-drift",
+}
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        assert EXPECTED_RULES <= set(rule_names())
+
+    def test_rule_codes_unique(self):
+        codes = [get_rule_class(name).code for name in rule_names()]
+        assert len(codes) == len(set(codes))
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rule_class("no-such-rule")
+
+    def test_create_rules_select_and_disable(self):
+        only = create_rules(select=["bare-except"])
+        assert [rule.name for rule in only] == ["bare-except"]
+        without = create_rules(disable=["bare-except"])
+        assert "bare-except" not in {rule.name for rule in without}
+
+    def test_create_rules_validates_names_early(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            create_rules(disable=["no-such-rule"])
+
+
+class TestConfigure:
+    def test_severity_override(self):
+        rule = get_rule_class("mutable-default-arg")()
+        rule.configure(severity="warning")
+        assert rule.severity == Severity.WARNING
+
+    def test_option_override(self):
+        rule = get_rule_class("bare-except")()
+        rule.configure(hot_paths=("serving/",))
+        assert rule.hot_paths == ("serving/",)
+
+    def test_unknown_option_raises(self):
+        rule = get_rule_class("bare-except")()
+        with pytest.raises(ValueError, match="has no option"):
+            rule.configure(not_an_option=1)
+
+    def test_create_rules_applies_options(self):
+        (rule,) = create_rules(
+            select=["bare-except"],
+            options={"bare-except": {"severity": "warning"}},
+        )
+        assert rule.severity == Severity.WARNING

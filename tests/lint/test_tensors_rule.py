@@ -1,0 +1,115 @@
+"""Positive/negative fixtures for the tensor-inplace-grad rule (R003)."""
+
+RULE = "tensor-inplace-grad"
+
+
+class TestPositives:
+    def test_bare_data_assignment(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def step(param, lr):
+                param.data = param.data - lr * param.grad
+            """,
+        )
+        assert len(violations) == 1
+        assert "no_grad" in violations[0].message
+
+    def test_augmented_assignment(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def decay(param, wd):
+                param.data *= 1.0 - wd
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_nested_function_escapes_guard(self, lint_source):
+        # The closure body runs later, outside the with-block's dynamic
+        # extent, so the lexical no_grad() does not cover it.
+        violations = lint_source(
+            RULE,
+            """
+            def make_step(param):
+                with no_grad():
+                    def inner():
+                        param.data = 0.0
+                    return inner
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_self_data_outside_init(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            class Tensor:
+                def zero(self):
+                    self.data = 0.0
+            """,
+        )
+        assert len(violations) == 1
+
+
+class TestNegatives:
+    def test_no_grad_block_is_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            from repro.nn import no_grad
+
+            def step(param, lr):
+                with no_grad():
+                    param.data = param.data - lr * param.grad
+            """,
+        )
+        assert violations == []
+
+    def test_attribute_qualified_no_grad(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            import repro.nn as nn
+
+            def step(param):
+                with nn.no_grad():
+                    param.data = 0.0
+            """,
+        )
+        assert violations == []
+
+    def test_guard_covers_nested_control_flow(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def step(params):
+                with no_grad():
+                    for p in params:
+                        if p.grad is not None:
+                            p.data = p.data - p.grad
+            """,
+        )
+        assert violations == []
+
+    def test_self_data_in_init_is_construction(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            class Tensor:
+                def __init__(self, data):
+                    self.data = data
+            """,
+        )
+        assert violations == []
+
+    def test_data_reads_are_fine(self, lint_source):
+        violations = lint_source(
+            RULE,
+            """
+            def norm(param):
+                value = param.data.sum()
+                return value
+            """,
+        )
+        assert violations == []

@@ -15,6 +15,7 @@ from repro.nn import (
     Sequential,
     Tensor,
     check_gradients,
+    no_grad,
 )
 
 
@@ -131,14 +132,16 @@ class TestEmbedding:
 
     def test_renormalize_caps_norms(self):
         emb = Embedding(6, 4, rng=RNG)
-        emb.weight.data = emb.weight.data * 10.0
+        with no_grad():
+            emb.weight.data = emb.weight.data * 10.0
         emb.renormalize(max_norm=1.0)
         norms = np.linalg.norm(emb.weight.data, axis=1)
         assert np.all(norms <= 1.0 + 1e-9)
 
     def test_renormalize_leaves_small_rows(self):
         emb = Embedding(3, 4, rng=RNG)
-        emb.weight.data = np.full((3, 4), 0.1)
+        with no_grad():
+            emb.weight.data = np.full((3, 4), 0.1)
         before = emb.weight.data.copy()
         emb.renormalize(max_norm=1.0)
         assert np.allclose(emb.weight.data, before)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import build_alignment_dataset
+from repro.nn import no_grad
 from repro.tasks import ProductAlignmentTask
 from repro.text import pair_service_payload
 
@@ -89,7 +90,8 @@ class TestAlignmentTask:
         encoder = MiniBert(workbench.encoder_config, rng=np.random.default_rng(0))
         model = PairClassifier(encoder, rng=np.random.default_rng(0))
         # Blow up the head so probabilities saturate to exactly 1.0.
-        model.classifier.weight.data *= 1e4
+        with no_grad():
+            model.classifier.weight.data *= 1e4
         case = dataset.test_r[0]
         task = ProductAlignmentTask(
             dataset,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 tests, then the repo's own linter.
+#
+# Usage: tools/check.sh   (run from the repository root)
+#
+# Fails fast: a test failure stops the run before lint; a lint error
+# (or, under REPRO_CHECK_STRICT=1, a warning) fails the gate.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== repro.lint =="
+LINT_FLAGS=()
+if [ "${REPRO_CHECK_STRICT:-0}" = "1" ]; then
+    LINT_FLAGS+=(--strict)
+fi
+python -m repro.lint "${LINT_FLAGS[@]+"${LINT_FLAGS[@]}"}" src tests
+
+echo
+echo "check.sh: all gates passed"
