@@ -11,6 +11,7 @@ writing Python:
     python -m repro.cli align                      # Tables VI-VII
     python -m repro.cli recommend                  # Table VIII
     python -m repro.cli complete                   # §II-D completion demo
+    python -m repro.cli chaos --crash-epoch 4      # fault-injected training
     python -m repro.cli lint src tests             # static-analysis gate
 
 Experiment commands accept ``--preset {smoke,default,bench}`` and
@@ -27,7 +28,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from .config import ExperimentConfig, bench_config, default_config, smoke_config
-from .core import pretrain_pkgm
+from .core import PKGM, pretrain_pkgm
 from .data import (
     build_alignment_dataset,
     build_classification_dataset,
@@ -166,6 +167,83 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Train through the PS simulation under an injected fault plan.
+
+    Runs the same distributed job twice — fault-free, then under the
+    requested plan (with retries and crash-consistent checkpointing) —
+    and reports the convergence gap plus the fault/retry accounting.
+    """
+    import tempfile
+
+    from .distributed import DistributedConfig, DistributedPKGMTrainer
+    from .reliability import CrashEvent, FaultPlan, RetryPolicy
+
+    config = _load_config(args)
+    workbench = build_workbench(config, pretrain_mlm=False, verbose=args.verbose)
+    store = workbench.catalog.store
+    n_ent = len(workbench.catalog.entities)
+    n_rel = len(workbench.catalog.relations)
+
+    def fresh_model():
+        return PKGM(n_ent, n_rel, config.pkgm, rng=np.random.default_rng(config.seed))
+
+    dist_config = DistributedConfig(
+        num_shards=args.shards,
+        num_workers=args.workers,
+        epochs=args.epochs,
+        batch_size=config.pkgm_trainer.batch_size,
+        learning_rate=config.pkgm_trainer.learning_rate,
+        seed=config.seed,
+    )
+    clean = DistributedPKGMTrainer(fresh_model(), dist_config)
+    clean_losses = clean.train(store)
+
+    crashes = ()
+    if args.crash_epoch is not None:
+        crashes = (
+            CrashEvent(
+                epoch=args.crash_epoch, batch=args.crash_batch, shard=args.crash_shard
+            ),
+        )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        push_drop_prob=args.push_drop,
+        push_duplicate_prob=args.push_duplicate,
+        pull_delay_prob=args.pull_delay,
+        rpc_error_prob=args.rpc_error,
+        crashes=crashes,
+    )
+    checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    chaotic = DistributedPKGMTrainer(
+        fresh_model(),
+        dist_config,
+        faults=plan,
+        retry=RetryPolicy(seed=args.fault_seed),
+        checkpoint_dir=checkpoint_dir,
+        resume=False,
+    )
+    chaos_losses = chaotic.train(store)
+
+    gap = abs(chaos_losses[-1] - clean_losses[-1]) / max(abs(clean_losses[-1]), 1e-12)
+    print(f"fault plan : {plan.describe()}")
+    print(f"checkpoints: {checkpoint_dir}")
+    print(
+        f"fault-free : first {clean_losses[0]:.4f} -> final {clean_losses[-1]:.4f}"
+    )
+    print(
+        f"faulted    : first {chaos_losses[0]:.4f} -> final {chaos_losses[-1]:.4f}"
+    )
+    print(f"final-loss gap: {gap:.2%}")
+    print(chaotic.fault_stats.as_row())
+    print(chaotic.retry_stats.as_row())
+    print(
+        f"recoveries {chaotic.recoveries} | abandoned batches "
+        f"{chaotic.abandoned_batches} | abandoned pushes {chaotic.abandoned_pushes}"
+    )
+    return 0 if gap <= args.tolerance else 1
+
+
 def cmd_complete(args: argparse.Namespace) -> int:
     """Demonstrate completion-during-service on held-out facts."""
     config = _load_config(args)
@@ -217,6 +295,28 @@ def build_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser("complete", help="completion-during-service demo")
     common(comp)
     comp.add_argument("--fraction", type=float, default=0.15)
+    chaos = sub.add_parser(
+        "chaos", help="distributed training under an injected fault plan"
+    )
+    common(chaos)
+    chaos.add_argument("--epochs", type=int, default=8)
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--workers", type=int, default=8)
+    chaos.add_argument("--push-drop", type=float, default=0.1)
+    chaos.add_argument("--push-duplicate", type=float, default=0.0)
+    chaos.add_argument("--pull-delay", type=float, default=0.0)
+    chaos.add_argument("--rpc-error", type=float, default=0.02)
+    chaos.add_argument("--crash-epoch", type=int, default=None)
+    chaos.add_argument("--crash-batch", type=int, default=0)
+    chaos.add_argument("--crash-shard", type=int, default=0)
+    chaos.add_argument("--fault-seed", type=int, default=0)
+    chaos.add_argument("--checkpoint-dir", type=str, default=None)
+    chaos.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max final-loss gap vs the fault-free run (exit 1 beyond)",
+    )
     lint = sub.add_parser(
         "lint",
         parents=[lint_cli.build_parser()],
@@ -234,6 +334,7 @@ COMMANDS = {
     "align": cmd_align,
     "recommend": cmd_recommend,
     "complete": cmd_complete,
+    "chaos": cmd_chaos,
     "lint": lint_cli.run_lint,
 }
 

@@ -9,7 +9,7 @@ from .cache import CachedPKGMServer, CacheStats
 from .key_relations import KeyRelationSelector
 from .modules import RelationQueryModule, TripleQueryModule
 from .pkgm import PKGM, PKGMConfig
-from .service import PKGMServer, ServiceVectors
+from .service import PKGMServer, ServiceVectors, SnapshotError
 from .trainer import PKGMTrainer, TrainerConfig, TrainingHistory, pretrain_pkgm
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "PKGMTrainer",
     "RelationQueryModule",
     "ServiceVectors",
+    "SnapshotError",
     "TrainerConfig",
     "TrainingHistory",
     "TripleQueryModule",

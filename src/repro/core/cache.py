@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -71,6 +71,14 @@ class CachedPKGMServer:
     def dim(self) -> int:
         return self._server.dim
 
+    @property
+    def num_entities(self) -> int:
+        return self._server.num_entities
+
+    @property
+    def num_relations(self) -> int:
+        return self._server.num_relations
+
     def serve(self, entity_id: int) -> ServiceVectors:
         entity_id = int(entity_id)
         cached = self._cache.get(entity_id)
@@ -101,13 +109,41 @@ class CachedPKGMServer:
     def relation_service(self, heads, relations) -> np.ndarray:
         return self._server.relation_service(heads, relations)
 
+    def relation_existence_score(self, entity_id: int, relation: int) -> float:
+        return self._server.relation_existence_score(entity_id, relation)
+
+    def known_items(self) -> List[int]:
+        return self._server.known_items()
+
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
-    def refresh(self, server: PKGMServer) -> None:
-        """Swap in a newly trained server and drop every cached entry."""
+    def peek(self, entity_id: int) -> Optional[ServiceVectors]:
+        """The cached entry for an item, or ``None`` — without touching
+        the backing server, the LRU order, or the hit/miss counters.
+
+        This is the degraded-mode read path: when the backing server is
+        down, stale-but-valid vectors beat no vectors.
+        """
+        return self._cache.get(int(entity_id))
+
+    def refresh(self, server: PKGMServer, reset_stats: bool = True) -> None:
+        """Swap in a newly trained server and drop every cached entry.
+
+        Counters describe the server generation they accumulated under,
+        so they reset with it by default; pass ``reset_stats=False`` to
+        keep lifetime totals across refreshes.
+        """
         self._server = server
         self._cache.clear()
+        if reset_stats:
+            self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def stats(self) -> CacheStats:
         return CacheStats(

@@ -75,3 +75,12 @@ class KeyRelationSelector:
     def for_items(self, entity_ids: Sequence[int]) -> np.ndarray:
         """Key relations for a batch of items, shape (batch, k)."""
         return np.asarray([self.for_item(e) for e in entity_ids], dtype=np.int64)
+
+    def items(self) -> List[int]:
+        """All known item entity ids, ascending (public: serialization
+        and fallback computation must not reach into internals)."""
+        return sorted(self._item_to_category)
+
+    def key_relation_table(self) -> Dict[int, List[int]]:
+        """The full item → key-relations mapping as plain data."""
+        return {item: self.for_item(item) for item in self.items()}

@@ -32,18 +32,27 @@ from .key_relations import KeyRelationSelector
 from .pkgm import PKGM
 
 
+class SnapshotError(RuntimeError):
+    """A server snapshot is missing keys or has inconsistent shapes."""
+
+
 @dataclass(frozen=True)
 class ServiceVectors:
     """Service payload for one item.
 
     ``triple_vectors`` is (k, d) — ``S_1..S_k``;
     ``relation_vectors`` is (k, d) — ``S_{k+1}..S_{2k}``.
+
+    ``degraded`` marks a fallback payload (unknown item or backend
+    failure) synthesized by the reliability layer instead of computed
+    from the model — downstream consumers can weigh or skip it.
     """
 
     entity_id: int
     key_relations: np.ndarray
     triple_vectors: np.ndarray
     relation_vectors: np.ndarray
+    degraded: bool = False
 
     @property
     def k(self) -> int:
@@ -152,51 +161,120 @@ class PKGMServer:
         )
         return float(np.abs(score).sum())
 
+    def known_items(self) -> List[int]:
+        """All item ids this server can answer for, ascending."""
+        return self._selector.items()
+
     # ------------------------------------------------------------------
     # Deployment: persist / restore the snapshot
     # ------------------------------------------------------------------
+    SNAPSHOT_KEYS = (
+        "entity_table",
+        "relation_table",
+        "transfer",
+        "item_ids",
+        "key_relations",
+        "k",
+    )
+
     def save(self, path: Union[str, Path]) -> None:
         """Persist the full service snapshot to one compressed npz file.
 
         The saved artifact is exactly what a production deployment needs:
         the embedding tables, transfer matrices, and the per-item key
-        relation assignments — no triple data, no training code.
+        relation assignments — no triple data, no training code.  The
+        write is atomic (tmp → fsync → rename), so a crash mid-save
+        cannot tear an existing deployment artifact.
         """
-        item_ids = sorted(self._selector._item_to_category)
+        # Imported lazily: repro.reliability imports repro.core at
+        # package-init time, so a module-scope import here would cycle.
+        from ..reliability.checkpoint import atomic_save_npz
+
+        item_ids = self._selector.items()
         key_table = np.asarray(
             [self._selector.for_item(item) for item in item_ids], dtype=np.int64
         )
-        np.savez_compressed(
+        atomic_save_npz(
             Path(path),
-            entity_table=self._entity_table,
-            relation_table=self._relation_table,
-            transfer=self._transfer,
-            item_ids=np.asarray(item_ids, dtype=np.int64),
-            key_relations=key_table,
-            k=np.asarray([self.k]),
+            {
+                "entity_table": self._entity_table,
+                "relation_table": self._relation_table,
+                "transfer": self._transfer,
+                "item_ids": np.asarray(item_ids, dtype=np.int64),
+                "key_relations": key_table,
+                "k": np.asarray([self.k]),
+            },
         )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "PKGMServer":
-        """Restore a server saved by :meth:`save` (no model required)."""
+        """Restore a server saved by :meth:`save` (no model required).
+
+        Validates the payload before constructing anything: missing
+        keys and inconsistent table shapes raise :class:`SnapshotError`
+        naming the offending key, never a raw ``KeyError``.
+        """
         with np.load(Path(path)) as data:
-            server = cls.__new__(cls)
-            server._entity_table = data["entity_table"]
-            server._relation_table = data["relation_table"]
-            server._transfer = data["transfer"]
-            server.k = int(data["k"][0])
-            server.dim = server._entity_table.shape[1]
-            server.num_entities = server._entity_table.shape[0]
-            server.num_relations = server._relation_table.shape[0]
-            server._selector = _FrozenSelector(
-                dict(
-                    zip(
-                        (int(i) for i in data["item_ids"]),
-                        (list(map(int, row)) for row in data["key_relations"]),
+            present = set(data.files)
+            for key in cls.SNAPSHOT_KEYS:
+                if key not in present:
+                    raise SnapshotError(
+                        f"snapshot {Path(path).name} is missing key {key!r}"
                     )
-                ),
-                server.k,
+            entity_table = data["entity_table"]
+            relation_table = data["relation_table"]
+            transfer = data["transfer"]
+            item_ids = data["item_ids"]
+            key_relations = data["key_relations"]
+            k = int(data["k"][0])
+
+        if entity_table.ndim != 2:
+            raise SnapshotError(
+                f"'entity_table' must be 2-D, got shape {entity_table.shape}"
             )
+        dim = entity_table.shape[1]
+        if relation_table.ndim != 2 or relation_table.shape[1] != dim:
+            raise SnapshotError(
+                f"'relation_table' shape {relation_table.shape} does not "
+                f"match entity dim {dim}"
+            )
+        if transfer.shape != (relation_table.shape[0], dim, dim):
+            raise SnapshotError(
+                f"'transfer' shape {transfer.shape} != expected "
+                f"{(relation_table.shape[0], dim, dim)}"
+            )
+        if key_relations.ndim != 2 or key_relations.shape != (len(item_ids), k):
+            raise SnapshotError(
+                f"'key_relations' shape {key_relations.shape} != expected "
+                f"{(len(item_ids), k)}"
+            )
+        if len(key_relations) and key_relations.size:
+            out_of_range = (key_relations < 0) | (
+                key_relations >= relation_table.shape[0]
+            )
+            if np.any(out_of_range):
+                raise SnapshotError(
+                    "'key_relations' references relation ids outside "
+                    f"[0, {relation_table.shape[0]})"
+                )
+
+        server = cls.__new__(cls)
+        server._entity_table = entity_table
+        server._relation_table = relation_table
+        server._transfer = transfer
+        server.k = k
+        server.dim = dim
+        server.num_entities = entity_table.shape[0]
+        server.num_relations = relation_table.shape[0]
+        server._selector = _FrozenSelector(
+            dict(
+                zip(
+                    (int(i) for i in item_ids),
+                    (list(map(int, row)) for row in key_relations),
+                )
+            ),
+            k,
+        )
         return server
 
 
@@ -204,7 +282,9 @@ class _FrozenSelector:
     """Key-relation lookup restored from a saved snapshot.
 
     Implements the subset of :class:`KeyRelationSelector` the server
-    uses (``k``, ``for_item``, ``for_items``).
+    uses (``k``, ``for_item``, ``for_items``, ``items``,
+    ``key_relation_table``) — in particular the public enumeration API,
+    so a loaded server can be saved again (save → load → save).
     """
 
     def __init__(self, table: Dict[int, List[int]], k: int) -> None:
@@ -218,3 +298,11 @@ class _FrozenSelector:
 
     def for_items(self, entity_ids: Sequence[int]) -> np.ndarray:
         return np.asarray([self.for_item(int(e)) for e in entity_ids], dtype=np.int64)
+
+    def items(self) -> List[int]:
+        """All known item entity ids, ascending."""
+        return sorted(self._table)
+
+    def key_relation_table(self) -> Dict[int, List[int]]:
+        """The full item → key-relations mapping as plain data."""
+        return {item: self.for_item(item) for item in self.items()}

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..kg import EdgeSampler, TripleStore
-from ..nn import Adam, sanitizer
+from ..nn import Adam, no_grad, sanitizer
 from .pkgm import PKGM, PKGMConfig
 
 
@@ -64,16 +64,37 @@ class TrainingHistory:
 
 
 class PKGMTrainer:
-    """Pre-trains a :class:`PKGM` on a triple store."""
+    """Pre-trains a :class:`PKGM` on a triple store.
+
+    With ``checkpoint_dir`` set, the trainer writes a crash-consistent
+    snapshot (model parameters, Adam moments, sampler RNG state, loss
+    history — see :mod:`repro.reliability.checkpoint`) every
+    ``checkpoint_every`` epochs, and a later trainer pointed at the
+    same directory resumes the run *bit-exactly*: a killed 30-epoch job
+    restarted from epoch 12 produces the same final tables as one that
+    never died.
+    """
 
     def __init__(
         self,
         model: PKGM,
         config: Optional[TrainerConfig] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        resume: bool = True,
     ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.model = model
         self.config = config if config is not None else TrainerConfig()
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self._manager = None
+        if checkpoint_dir is not None:
+            from ..reliability.checkpoint import CheckpointManager
+
+            self._manager = CheckpointManager(checkpoint_dir)
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
 
     def train(
         self,
@@ -109,7 +130,13 @@ class PKGMTrainer:
             corrupt_relation_prob=self.config.corrupt_relation_prob,
         )
         history = TrainingHistory()
-        for epoch in range(self.config.epochs):
+        start_epoch = 0
+        if self._manager is not None:
+            if self.resume and self._manager.latest() is not None:
+                start_epoch = self._restore(rng, history)
+            else:
+                self._manager.clear()
+        for epoch in range(start_epoch, self.config.epochs):
             epoch_loss = 0.0
             count = 0
             for batch in sampler.epoch():
@@ -130,7 +157,57 @@ class PKGMTrainer:
             history.epoch_losses.append(mean_loss)
             if progress is not None:
                 progress(epoch, mean_loss)
+            completed = epoch + 1
+            if self._manager is not None and (
+                completed % self.checkpoint_every == 0
+                or completed == self.config.epochs
+            ):
+                self._save_checkpoint(completed, rng, history)
         return history
+
+    # ------------------------------------------------------------------
+    # Crash-consistent checkpointing (repro.reliability.checkpoint)
+    # ------------------------------------------------------------------
+    def _save_checkpoint(
+        self, completed_epochs: int, rng: np.random.Generator, history: TrainingHistory
+    ) -> None:
+        from ..reliability.checkpoint import rng_state
+
+        arrays = {}
+        for index, param in enumerate(self.optimizer.parameters):
+            arrays[f"param{index}"] = param.data
+            moment = self.optimizer._m.get(id(param))
+            velocity = self.optimizer._v.get(id(param))
+            arrays[f"m{index}"] = (
+                moment if moment is not None else np.zeros_like(param.data)
+            )
+            arrays[f"v{index}"] = (
+                velocity if velocity is not None else np.zeros_like(param.data)
+            )
+        self._manager.save(
+            completed_epochs,
+            arrays,
+            metadata={
+                "epoch": completed_epochs,
+                "adam_step": self.optimizer._step_count,
+                "rng": rng_state(rng),
+                "losses": list(history.epoch_losses),
+            },
+        )
+
+    def _restore(self, rng: np.random.Generator, history: TrainingHistory) -> int:
+        from ..reliability.checkpoint import restore_rng
+
+        arrays, metadata = self._manager.load()
+        with no_grad():
+            for index, param in enumerate(self.optimizer.parameters):
+                param.data = arrays[f"param{index}"]
+                self.optimizer._m[id(param)] = arrays[f"m{index}"]
+                self.optimizer._v[id(param)] = arrays[f"v{index}"]
+        self.optimizer._step_count = int(metadata["adam_step"])
+        restore_rng(rng, metadata["rng"])
+        history.epoch_losses.extend(float(x) for x in metadata["losses"])
+        return int(metadata["epoch"])
 
 
 def pretrain_pkgm(

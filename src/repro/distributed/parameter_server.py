@@ -118,6 +118,41 @@ class ParameterServer:
         """Full copy of a table (checkpointing)."""
         return self._tables[name].copy()
 
+    def table_names(self) -> List[str]:
+        """Registered parameter tables, in registration order."""
+        return list(self._tables)
+
+    def state(self, name: str) -> Dict[str, np.ndarray]:
+        """Full recoverable state of one table: values + Adam moments.
+
+        Returns copies — the checkpoint layer owns them.
+        """
+        return {
+            "table": self._tables[name].copy(),
+            "m": self._m[name].copy(),
+            "v": self._v[name].copy(),
+            "step": self._step[name].copy(),
+        }
+
+    def load_state(self, name: str, state: Dict[str, np.ndarray]) -> None:
+        """Restore a table's values and Adam moments (shape-checked)."""
+        if name not in self._tables:
+            raise KeyError(f"parameter {name!r} is not registered")
+        for key in ("table", "m", "v", "step"):
+            if key not in state:
+                raise KeyError(f"state for {name!r} is missing {key!r}")
+            expected = (
+                self._step[name].shape if key == "step" else self._tables[name].shape
+            )
+            if state[key].shape != expected:
+                raise ValueError(
+                    f"state[{key!r}] shape {state[key].shape} != {expected}"
+                )
+        self._tables[name][:] = state["table"]
+        self._m[name][:] = state["m"]
+        self._v[name][:] = state["v"]
+        self._step[name][:] = state["step"]
+
     def renormalize_rows(self, name: str, max_norm: float = 1.0) -> None:
         """Project rows onto the L2 ball (TransE's entity constraint)."""
         table = self._tables[name]
@@ -146,11 +181,24 @@ class PKGMWorker:
 
     ENTITY, RELATION, MATRIX = "entities", "relations", "matrices"
 
-    def __init__(self, server: ParameterServer, margin: float) -> None:
+    def __init__(
+        self,
+        server: ParameterServer,
+        margin: float,
+        retrier=None,
+    ) -> None:
         if margin <= 0:
             raise ValueError("margin must be positive")
         self.server = server
         self.margin = margin
+        # Optional repro.reliability.retry.Retrier wrapping the pull RPCs
+        # (transient RPCErrors from an injected fault plan get retried).
+        self.retrier = retrier
+
+    def _pull(self, name: str, rows: np.ndarray) -> np.ndarray:
+        if self.retrier is None:
+            return self.server.pull(name, rows)
+        return self.retrier.call(self.server.pull, name, rows)
 
     def compute(self, positives: np.ndarray, negatives: np.ndarray) -> GradientPacket:
         """Gradient packet for one (positives, negatives) batch pair."""
@@ -168,9 +216,9 @@ class PKGMWorker:
         e_index = {int(row): i for i, row in enumerate(e_unique)}
         r_index = {int(row): i for i, row in enumerate(r_unique)}
 
-        entities = self.server.pull(self.ENTITY, e_unique)
-        relations = self.server.pull(self.RELATION, r_unique)
-        matrices = self.server.pull(self.MATRIX, r_unique)
+        entities = self._pull(self.ENTITY, e_unique)
+        relations = self._pull(self.RELATION, r_unique)
+        matrices = self._pull(self.MATRIX, r_unique)
 
         def score_parts(triples):
             h = entities[[e_index[int(x)] for x in triples[:, 0]]]
@@ -259,15 +307,60 @@ class DistributedPKGMTrainer:
     computed — the bounded-staleness model of asynchronous PS training.
     The trained tables can be exported back into a :class:`PKGM` model
     so all downstream service code works unchanged.
+
+    Reliability wiring (all optional, :mod:`repro.reliability`):
+
+    * ``faults`` — a ``FaultPlan``; the server is wrapped in a
+      ``FaultyParameterServer`` injecting seeded drops / duplicates /
+      staleness spikes / transient RPC errors / shard crashes;
+    * ``retry`` — a ``RetryPolicy``; workers retry faulted pulls and
+      the trainer retries faulted pushes (a push that exhausts its
+      retries is abandoned and counted, like a worker timing out);
+    * ``checkpoint_dir`` — crash-consistent epoch-boundary snapshots of
+      every table plus its server-side Adam state and the sampler RNG
+      state.  A scheduled shard crash restores the latest checkpoint
+      and replays from that epoch; a new trainer pointed at the same
+      directory resumes a killed run bit-exactly.
     """
 
-    def __init__(self, model: PKGM, config: Optional[DistributedConfig] = None) -> None:
+    def __init__(
+        self,
+        model: PKGM,
+        config: Optional[DistributedConfig] = None,
+        faults=None,
+        retry=None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 1,
+        resume: bool = True,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.model = model
         self.config = config if config is not None else DistributedConfig()
         self.server = ParameterServer(
             num_shards=self.config.num_shards,
             learning_rate=self.config.learning_rate,
         )
+        self.fault_plan = faults
+        if faults is not None:
+            from ..reliability.faults import FaultyParameterServer
+
+            self.server = FaultyParameterServer(self.server, faults)
+        self._retrier = None
+        if retry is not None:
+            from ..reliability.retry import Retrier
+
+            self._retrier = Retrier(retry)
+        self._manager = None
+        if checkpoint_dir is not None:
+            from ..reliability.checkpoint import CheckpointManager
+
+            self._manager = CheckpointManager(checkpoint_dir)
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.abandoned_batches = 0
+        self.abandoned_pushes = 0
+        self.recoveries = 0
         self.server.register(
             PKGMWorker.ENTITY, model.triple_module.entity_embeddings.weight.data
         )
@@ -278,12 +371,24 @@ class DistributedPKGMTrainer:
             PKGMWorker.MATRIX, model.relation_module.transfer_matrices.data
         )
         self.workers = [
-            PKGMWorker(self.server, margin=self.config.margin)
+            PKGMWorker(self.server, margin=self.config.margin, retrier=self._retrier)
             for _ in range(self.config.num_workers)
         ]
 
+    @property
+    def fault_stats(self):
+        """Injected-fault accounting, or ``None`` without a plan."""
+        return self.server.stats if self.fault_plan is not None else None
+
+    @property
+    def retry_stats(self):
+        """Retry accounting, or ``None`` without a policy."""
+        return self._retrier.stats if self._retrier is not None else None
+
     def train(self, store: TripleStore) -> List[float]:
         """Run the asynchronous loop; returns per-epoch mean losses."""
+        from ..reliability.retry import RetryExhaustedError
+
         rng = np.random.default_rng(self.config.seed)
         sampler = EdgeSampler.with_uniform(
             store,
@@ -292,31 +397,117 @@ class DistributedPKGMTrainer:
             num_relations=self.model.num_relations,
             rng=rng,
         )
-        pending: Deque[GradientPacket] = deque()
         losses: List[float] = []
-        for _ in range(self.config.epochs):
+        epoch = 0
+        if self._manager is not None:
+            if self.resume and self._manager.latest() is not None:
+                epoch, losses = self._restore(rng)
+            else:
+                # Fresh run: stale checkpoints from an earlier run must
+                # not leak into crash recovery; then write the epoch-0
+                # baseline so a first-epoch crash can recover.
+                self._manager.clear()
+                self._save_checkpoint(0, rng, losses)
+        pending: Deque[GradientPacket] = deque()
+        crashes = list(self.fault_plan.crashes) if self.fault_plan is not None else []
+        while epoch < self.config.epochs:
             epoch_loss, count = 0.0, 0
+            recovered_mid_epoch = False
             for batch_index, batch in enumerate(sampler.epoch()):
+                event = self._pop_crash(crashes, epoch, batch_index)
+                if event is not None:
+                    self.server.crash_shard(event.shard)
+                    pending.clear()  # in-flight packets died with the shard
+                    if self._manager is not None and self._manager.latest() is not None:
+                        epoch, losses = self._restore(rng)
+                        self.recoveries += 1
+                        recovered_mid_epoch = True
+                        break
+                    # No checkpoint: keep training on the damaged state.
                 worker = self.workers[batch_index % len(self.workers)]
-                packet = worker.compute(batch.positives, batch.negatives[0])
+                try:
+                    packet = worker.compute(batch.positives, batch.negatives[0])
+                except RetryExhaustedError:
+                    self.abandoned_batches += 1
+                    continue
                 pending.append(packet)
                 epoch_loss += packet.loss
                 count += len(batch)
                 if len(pending) > self.config.staleness:
                     self._apply(pending.popleft())
+            if recovered_mid_epoch:
+                continue
             while pending:
                 self._apply(pending.popleft())
             losses.append(epoch_loss / max(count, 1))
+            epoch += 1
+            if self._manager is not None and (
+                epoch % self.checkpoint_every == 0 or epoch == self.config.epochs
+            ):
+                self._save_checkpoint(epoch, rng, losses)
         self.export_to_model()
         return losses
 
+    @staticmethod
+    def _pop_crash(crashes, epoch: int, batch_index: int):
+        for event in crashes:
+            if event.epoch == epoch and event.batch == batch_index:
+                crashes.remove(event)
+                return event
+        return None
+
     def _apply(self, packet: GradientPacket) -> None:
+        from ..reliability.retry import RetryExhaustedError
+
         for name in packet.rows:
-            self.server.push(name, packet.rows[name], packet.gradients[name])
+            if self._retrier is None:
+                self.server.push(name, packet.rows[name], packet.gradients[name])
+            else:
+                try:
+                    self._retrier.call(
+                        self.server.push,
+                        name,
+                        packet.rows[name],
+                        packet.gradients[name],
+                    )
+                except RetryExhaustedError:
+                    self.abandoned_pushes += 1
         if self.config.entity_max_norm is not None:
             self.server.renormalize_rows(
                 PKGMWorker.ENTITY, self.config.entity_max_norm
             )
+
+    # ------------------------------------------------------------------
+    # Crash-consistent checkpointing
+    # ------------------------------------------------------------------
+    def _save_checkpoint(self, epoch: int, rng, losses: List[float]) -> None:
+        from ..reliability.checkpoint import rng_state
+
+        arrays = {}
+        for name in self.server.table_names():
+            state = self.server.state(name)
+            for key, value in state.items():
+                arrays[f"{name}.{key}"] = value
+        self._manager.save(
+            epoch,
+            arrays,
+            metadata={
+                "epoch": epoch,
+                "rng": rng_state(rng),
+                "losses": list(losses),
+            },
+        )
+
+    def _restore(self, rng):
+        from ..reliability.checkpoint import restore_rng
+
+        arrays, metadata = self._manager.load()
+        for name in self.server.table_names():
+            self.server.load_state(
+                name, {key: arrays[f"{name}.{key}"] for key in ("table", "m", "v", "step")}
+            )
+        restore_rng(rng, metadata["rng"])
+        return int(metadata["epoch"]), [float(x) for x in metadata["losses"]]
 
     def export_to_model(self) -> PKGM:
         """Copy the trained tables back into the wrapped PKGM."""

@@ -1,0 +1,71 @@
+"""Reliability engineering for the PKGM training and serving stack.
+
+The paper's system (50 parameter servers, 200 workers, billions of
+service calls) treats failure as the steady state; this package makes
+the reproduction survive the same weather, deterministically:
+
+* :mod:`repro.reliability.faults` — seeded fault injection on the PS
+  pull/push channel (drops, duplicates, staleness spikes, transient
+  RPC errors, shard crashes) and a flaky serving backend;
+* :mod:`repro.reliability.retry` — exponential backoff with seeded
+  jitter, retry budgets, and a closed/open/half-open circuit breaker
+  over a virtual clock;
+* :mod:`repro.reliability.checkpoint` — crash-consistent checkpoints
+  (atomic tmp-write → fsync → rename, checksummed manifests) with
+  bit-exact RNG-state resume;
+* :mod:`repro.reliability.serving` — :class:`ResilientPKGMServer`, the
+  never-raising degraded-mode serving facade.
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    atomic_save_npz,
+    atomic_write_bytes,
+    atomic_write_json,
+    restore_rng,
+    rng_state,
+)
+from .faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultStats,
+    FaultyParameterServer,
+    FlakyServingBackend,
+)
+from .retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Retrier,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryStats,
+    RPCError,
+    StepClock,
+)
+from .serving import DegradationStats, ResilientPKGMServer
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CrashEvent",
+    "DegradationStats",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyParameterServer",
+    "FlakyServingBackend",
+    "RPCError",
+    "ResilientPKGMServer",
+    "Retrier",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RetryStats",
+    "StepClock",
+    "atomic_save_npz",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "restore_rng",
+    "rng_state",
+]

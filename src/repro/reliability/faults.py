@@ -1,0 +1,304 @@
+"""Deterministic, seeded fault injection for the PS pull/push channel.
+
+The paper's deployment (50 parameter servers, 200 workers, billions of
+service calls) lives with dropped RPCs, duplicated retries, stale
+reads, and crashed shards as routine events.  This module injects
+exactly those faults into the :class:`repro.distributed.ParameterServer`
+channel — *deterministically*: a :class:`FaultPlan` is seeded, so the
+same plan over the same workload produces the same fault sequence,
+making chaos tests and ablation benches reproducible.
+
+Fault classes modeled:
+
+* **push drop** — the update RPC is lost; the server never applies it
+  (silent, like a lost UDP datagram or a timed-out write after commit);
+* **push duplicate** — an at-least-once channel redelivers the same
+  gradient (the server applies it twice);
+* **pull delay** — a read is served from a stale replica refreshed
+  only every ``stale_refresh_every`` pushes (a staleness spike);
+* **transient RPC error** — :class:`repro.reliability.retry.RPCError`
+  surfaces to the caller, who is expected to retry;
+* **shard crash** — a shard process dies and restarts empty-handed:
+  its rows lose server-side Adam state and revert to their *initially
+  registered* values (what a restart without a checkpoint recovers).
+  Trainers repair the damage by restoring a checkpoint.
+
+There is also :class:`FlakyServingBackend`, the serving-side analogue:
+it wraps any ``PKGMServer``-surface object and raises seeded transient
+``RPCError`` from ``serve``, to exercise breaker + stale-cache paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .retry import RPCError
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled shard crash, pinned to an (epoch, batch) tick."""
+
+    epoch: int
+    batch: int
+    shard: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.batch < 0 or self.shard < 0:
+            raise ValueError("epoch, batch and shard must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of what goes wrong, and how often."""
+
+    seed: int = 0
+    push_drop_prob: float = 0.0
+    push_duplicate_prob: float = 0.0
+    pull_delay_prob: float = 0.0
+    stale_refresh_every: int = 8
+    rpc_error_prob: float = 0.0
+    crashes: Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "push_drop_prob",
+            "push_duplicate_prob",
+            "pull_delay_prob",
+            "rpc_error_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.stale_refresh_every < 1:
+            raise ValueError("stale_refresh_every must be >= 1")
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    def describe(self) -> str:
+        """One-line human summary for logs and bench tables."""
+        parts = [
+            f"seed={self.seed}",
+            f"drop={self.push_drop_prob:.0%}",
+            f"dup={self.push_duplicate_prob:.0%}",
+            f"delay={self.pull_delay_prob:.0%}",
+            f"rpc-err={self.rpc_error_prob:.0%}",
+            f"crashes={len(self.crashes)}",
+        ]
+        return " ".join(parts)
+
+
+@dataclass
+class FaultStats:
+    """What the harness actually injected (for reports and asserts)."""
+
+    pushes_dropped: int = 0
+    pushes_duplicated: int = 0
+    pulls_delayed: int = 0
+    rpc_errors: int = 0
+    shard_crashes: int = 0
+    crash_log: List[Tuple[int, int]] = field(default_factory=list)
+
+    def as_row(self) -> str:
+        return (
+            f"faults: dropped {self.pushes_dropped} | "
+            f"duplicated {self.pushes_duplicated} | "
+            f"delayed {self.pulls_delayed} | rpc-errors {self.rpc_errors} | "
+            f"crashes {self.shard_crashes}"
+        )
+
+
+class FaultyParameterServer:
+    """Wraps a ``ParameterServer`` with a seeded :class:`FaultPlan`.
+
+    Exposes the full server surface (register/pull/push/snapshot/...)
+    so :class:`repro.distributed.PKGMWorker` and the trainer use it
+    unchanged.  All randomness flows through one ``default_rng(seed)``
+    stream, so the injected fault sequence is a pure function of the
+    plan and the call sequence.
+    """
+
+    def __init__(self, server, plan: FaultPlan) -> None:
+        self.server = server
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(plan.seed)
+        # Stale replica tables for delayed pulls, refreshed lazily.
+        self._stale: Dict[str, np.ndarray] = {}
+        self._pushes_since_refresh = 0
+        # Initial registered values: what a crashed shard restarts with.
+        self._initial: Dict[str, np.ndarray] = {}
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.server.num_shards
+
+    @property
+    def pull_count(self) -> int:
+        return self.server.pull_count
+
+    @property
+    def push_count(self) -> int:
+        return self.server.push_count
+
+    def register(self, name: str, table: np.ndarray) -> None:
+        self.server.register(name, table)
+        self._initial[name] = self.server.snapshot(name)
+        self._stale[name] = self.server.snapshot(name)
+
+    def shard_of(self, row: int) -> int:
+        return self.server.shard_of(row)
+
+    def shard_sizes(self, name: str):
+        return self.server.shard_sizes(name)
+
+    def snapshot(self, name: str) -> np.ndarray:
+        return self.server.snapshot(name)
+
+    def renormalize_rows(self, name: str, max_norm: float = 1.0) -> None:
+        self.server.renormalize_rows(name, max_norm)
+
+    def table_names(self):
+        return self.server.table_names()
+
+    def state(self, name: str):
+        return self.server.state(name)
+
+    def load_state(self, name: str, state) -> None:
+        self.server.load_state(name, state)
+
+    # -- faulted channel ------------------------------------------------
+    def _maybe_rpc_error(self, op: str) -> None:
+        if self.plan.rpc_error_prob and (
+            float(self._rng.random()) < self.plan.rpc_error_prob
+        ):
+            self.stats.rpc_errors += 1
+            raise RPCError(f"injected transient failure during {op}")
+
+    def pull(self, name: str, rows: np.ndarray) -> np.ndarray:
+        self._maybe_rpc_error(f"pull({name})")
+        if self.plan.pull_delay_prob and (
+            float(self._rng.random()) < self.plan.pull_delay_prob
+        ):
+            self.stats.pulls_delayed += 1
+            rows = np.asarray(rows, dtype=np.int64)
+            # Account the RPC on the real server, serve stale payload.
+            self.server.pull_count += len(
+                set(self.shard_of(int(r)) for r in np.unique(rows))
+            )
+            return self._stale[name][rows].copy()
+        return self.server.pull(name, rows)
+
+    def push(self, name: str, rows: np.ndarray, gradients: np.ndarray) -> None:
+        self._maybe_rpc_error(f"push({name})")
+        if self.plan.push_drop_prob and (
+            float(self._rng.random()) < self.plan.push_drop_prob
+        ):
+            self.stats.pushes_dropped += 1
+            return
+        self.server.push(name, rows, gradients)
+        if self.plan.push_duplicate_prob and (
+            float(self._rng.random()) < self.plan.push_duplicate_prob
+        ):
+            self.stats.pushes_duplicated += 1
+            self.server.push(name, rows, gradients)
+        self._pushes_since_refresh += 1
+        if self._pushes_since_refresh >= self.plan.stale_refresh_every:
+            self._pushes_since_refresh = 0
+            for table in self._stale:
+                self._stale[table] = self.server.snapshot(table)
+
+    # -- crash model ----------------------------------------------------
+    def crash_shard(self, shard: int) -> None:
+        """Kill and restart one shard without a checkpoint.
+
+        The restarted process recovers only what registration gave it:
+        parameter rows revert to their initial values and the Adam
+        moments/step counters are zeroed.  Rows on other shards are
+        untouched.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range")
+        self.stats.shard_crashes += 1
+        for name in self.server.table_names():
+            state = self.server.state(name)
+            rows = np.arange(len(state["table"]))
+            mask = rows % self.num_shards == shard
+            state["table"][mask] = self._initial[name][mask]
+            state["m"][mask] = 0.0
+            state["v"][mask] = 0.0
+            state["step"][mask] = 0
+            self.server.load_state(name, state)
+
+
+class FlakyServingBackend:
+    """Serving-side chaos: a PKGM server whose calls fail transiently.
+
+    Wraps any object with the ``PKGMServer`` surface; each ``serve`` /
+    ``triple_service`` / ``relation_service`` call fails with
+    probability ``error_prob`` (seeded).  Set ``fail_next`` to force a
+    run of failures regardless of probability — tests use this to trip
+    a breaker deterministically.
+    """
+
+    def __init__(self, server, error_prob: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= error_prob <= 1.0:
+            raise ValueError("error_prob must be in [0, 1]")
+        self.server = server
+        self.error_prob = error_prob
+        self.fail_next = 0
+        self.calls = 0
+        self.errors = 0
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def k(self) -> int:
+        return self.server.k
+
+    @property
+    def dim(self) -> int:
+        return self.server.dim
+
+    @property
+    def num_entities(self) -> int:
+        return self.server.num_entities
+
+    @property
+    def num_relations(self) -> int:
+        return self.server.num_relations
+
+    def _roll(self, op: str) -> None:
+        self.calls += 1
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            self.errors += 1
+            raise RPCError(f"forced failure during {op}")
+        if self.error_prob and float(self._rng.random()) < self.error_prob:
+            self.errors += 1
+            raise RPCError(f"injected transient failure during {op}")
+
+    def serve(self, entity_id: int):
+        self._roll(f"serve({entity_id})")
+        return self.server.serve(entity_id)
+
+    def serve_batch(self, entity_ids):
+        return [self.serve(int(e)) for e in entity_ids]
+
+    def triple_service(self, heads, relations):
+        self._roll("triple_service")
+        return self.server.triple_service(heads, relations)
+
+    def relation_service(self, heads, relations):
+        self._roll("relation_service")
+        return self.server.relation_service(heads, relations)
+
+    def relation_existence_score(self, entity_id: int, relation: int) -> float:
+        self._roll("relation_existence_score")
+        return self.server.relation_existence_score(entity_id, relation)
+
+    def __getattr__(self, name: str):
+        # Anything not faulted (selector access, save, ...) passes through.
+        return getattr(self.server, name)

@@ -1,0 +1,239 @@
+"""Degraded-mode serving: the resilient facade over the PKGM server.
+
+The paper's serving tier answers billions of service-vector requests;
+a production facade in front of it must never turn one bad id or one
+flaky backend into a caller-visible exception.  The contract of
+:class:`ResilientPKGMServer`:
+
+* ``serve`` **never raises** — unknown / out-of-range entity ids and
+  backend failures return a *flagged* fallback payload
+  (``ServiceVectors.degraded`` is ``True``) with well-defined vectors:
+  zeros, or the catalog-mean service vectors (``fallback="mean"``);
+* transient backend errors are retried under a
+  :class:`repro.reliability.retry.RetryPolicy`, and repeated failures
+  trip a :class:`repro.reliability.retry.CircuitBreaker` so a dying
+  backend stops being hammered;
+* while the breaker is open, requests are answered from the
+  :class:`repro.core.CachedPKGMServer` LRU — **stale** entries are
+  valid model output and served as such (counted, not flagged);
+* every degradation is counted in :class:`DegradationStats` for
+  monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.cache import CachedPKGMServer
+from ..core.service import ServiceVectors
+from .retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Retrier,
+    RetryExhaustedError,
+    RetryPolicy,
+    RPCError,
+    StepClock,
+)
+
+FALLBACK_MODES = ("zero", "mean")
+
+
+@dataclass
+class DegradationStats:
+    """Structured error/degradation counters for the facade."""
+
+    requests: int = 0
+    served_live: int = 0
+    served_stale: int = 0
+    fallback_unknown: int = 0
+    fallback_error: int = 0
+    breaker_short_circuits: int = 0
+
+    @property
+    def degraded_rate(self) -> float:
+        degraded = self.fallback_unknown + self.fallback_error
+        return degraded / self.requests if self.requests else 0.0
+
+    def as_row(self) -> str:
+        return (
+            f"requests {self.requests} | live {self.served_live} | "
+            f"stale {self.served_stale} | unknown-fallbacks "
+            f"{self.fallback_unknown} | error-fallbacks {self.fallback_error} | "
+            f"short-circuits {self.breaker_short_circuits} | "
+            f"degraded {self.degraded_rate:.2%}"
+        )
+
+
+class ResilientPKGMServer:
+    """Never-raising serving facade with retry, breaker, and fallbacks.
+
+    ``backend`` may be a plain ``PKGMServer``-surface object or an
+    existing :class:`CachedPKGMServer`; a plain backend is wrapped in a
+    fresh LRU (the stale-serving path needs one).
+    """
+
+    def __init__(
+        self,
+        backend,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fallback: str = "zero",
+        cache_capacity: int = 1024,
+        clock: Optional[StepClock] = None,
+    ) -> None:
+        if fallback not in FALLBACK_MODES:
+            raise ValueError(
+                f"fallback must be one of {FALLBACK_MODES}, got {fallback!r}"
+            )
+        self.clock = clock if clock is not None else StepClock()
+        if isinstance(backend, CachedPKGMServer):
+            self._cached = backend
+        else:
+            self._cached = CachedPKGMServer(backend, capacity=cache_capacity)
+        self._retrier = Retrier(retry, clock=self.clock)
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(clock=self.clock)
+        )
+        if self.breaker.clock is not self.clock:
+            # One clock drives backoff and recovery windows together.
+            self.breaker.clock = self.clock
+        self.fallback = fallback
+        self.stats = DegradationStats()
+        self._mean_payload: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Surface passthrough
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self._cached.k
+
+    @property
+    def dim(self) -> int:
+        return self._cached.dim
+
+    @property
+    def num_entities(self) -> int:
+        return self._cached.num_entities
+
+    @property
+    def num_relations(self) -> int:
+        return self._cached.num_relations
+
+    def cache_stats(self):
+        return self._cached.stats()
+
+    def retry_stats(self):
+        return self._retrier.stats
+
+    # ------------------------------------------------------------------
+    # Fallback payloads
+    # ------------------------------------------------------------------
+    def _mean_vectors(self) -> Optional[np.ndarray]:
+        """Catalog-mean (2, k, d) payload, computed once and memoized.
+
+        Averages the true service vectors over every known item; if the
+        backend cannot enumerate items (or is down), returns ``None``
+        and the caller degrades to zeros.
+        """
+        if self._mean_payload is not None:
+            return self._mean_payload
+        try:
+            item_ids = self._cached.known_items()
+            if not item_ids:
+                return None
+            total = np.zeros((2, self.k, self.dim))
+            for item in item_ids:
+                vectors = self._cached.serve(int(item))
+                total[0] += vectors.triple_vectors
+                total[1] += vectors.relation_vectors
+            self._mean_payload = total / len(item_ids)
+        except (RPCError, KeyError, IndexError, AttributeError):
+            return None
+        return self._mean_payload
+
+    def _fallback_payload(self, entity_id: int) -> ServiceVectors:
+        """A flagged, well-defined payload for an unanswerable request."""
+        vectors = None
+        if self.fallback == "mean":
+            vectors = self._mean_vectors()
+        if vectors is None:
+            vectors = np.zeros((2, self.k, self.dim))
+        return ServiceVectors(
+            entity_id=int(entity_id),
+            key_relations=np.full(self.k, -1, dtype=np.int64),
+            triple_vectors=vectors[0].copy(),
+            relation_vectors=vectors[1].copy(),
+            degraded=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, entity_id: Union[int, np.integer]) -> ServiceVectors:
+        """Service vectors for one item.  Never raises.
+
+        Resolution order: live backend (with retries, through the
+        breaker) → stale cache entry → flagged fallback payload.
+        """
+        entity_id = int(entity_id)
+        self.stats.requests += 1
+        self.clock.advance(1.0)  # one virtual second per request tick
+        try:
+            vectors = self.breaker.call(
+                self._retrier.call, self._cached.serve, entity_id
+            )
+        except CircuitOpenError:
+            self.stats.breaker_short_circuits += 1
+            return self._stale_or_fallback(entity_id, error=True)
+        except (RPCError, RetryExhaustedError):
+            return self._stale_or_fallback(entity_id, error=True)
+        except (KeyError, IndexError):
+            self.stats.fallback_unknown += 1
+            return self._fallback_payload(entity_id)
+        self.stats.served_live += 1
+        return vectors
+
+    def _stale_or_fallback(self, entity_id: int, error: bool) -> ServiceVectors:
+        stale = self._cached.peek(entity_id)
+        if stale is not None:
+            self.stats.served_stale += 1
+            return stale
+        if error:
+            self.stats.fallback_error += 1
+        else:
+            self.stats.fallback_unknown += 1
+        return self._fallback_payload(entity_id)
+
+    def serve_batch(self, entity_ids: Sequence[int]) -> List[ServiceVectors]:
+        return [self.serve(int(e)) for e in entity_ids]
+
+    def serve_sequence_batch(self, entity_ids: Sequence[int]) -> np.ndarray:
+        """(batch, 2k, d) payload; degraded rows are fallback vectors."""
+        return np.stack([self.serve(int(e)).sequence() for e in entity_ids])
+
+    def serve_condensed_batch(self, entity_ids: Sequence[int]) -> np.ndarray:
+        """(batch, 2d) payload; degraded rows are fallback vectors."""
+        return np.stack([self.serve(int(e)).condensed() for e in entity_ids])
+
+    def relation_existence_score(self, entity_id: int, relation: int) -> float:
+        """Existence score, or ``nan`` when it cannot be computed."""
+        try:
+            return self.breaker.call(
+                self._retrier.call,
+                self._cached.relation_existence_score,
+                int(entity_id),
+                int(relation),
+            )
+        except (
+            CircuitOpenError,
+            RPCError,
+            RetryExhaustedError,
+            KeyError,
+            IndexError,
+        ):
+            return float("nan")

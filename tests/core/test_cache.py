@@ -68,9 +68,50 @@ class TestCachedServing:
         cached.serve(entity)
         assert cached.stats().misses == before + 1
 
+    def test_refresh_resets_stats(self, cached, server, catalog):
+        cached.serve(catalog.items[0].entity_id)
+        cached.serve(catalog.items[0].entity_id)
+        cached.refresh(server)
+        stats = cached.stats()
+        assert stats.hits == 0 and stats.misses == 0 and stats.evictions == 0
+
+    def test_refresh_can_keep_stats(self, cached, server, catalog):
+        cached.serve(catalog.items[0].entity_id)
+        cached.refresh(server, reset_stats=False)
+        assert cached.stats().misses == 1
+        assert cached.stats().size == 0
+
+    def test_reset_stats_keeps_entries(self, cached, catalog):
+        entity = catalog.items[0].entity_id
+        cached.serve(entity)
+        cached.reset_stats()
+        assert cached.stats().misses == 0
+        cached.serve(entity)  # still cached: a hit, not a miss
+        assert cached.stats().hits == 1
+        assert cached.stats().misses == 0
+
+    def test_peek_does_not_mutate_stats_or_recency(self, cached, catalog):
+        entity = catalog.items[0].entity_id
+        assert cached.peek(entity) is None
+        cached.serve(entity)
+        stats_before = cached.stats()
+        peeked = cached.peek(entity)
+        assert peeked is not None
+        assert np.allclose(peeked.sequence(), cached.serve(entity).sequence())
+        assert cached.stats().misses == stats_before.misses
+
     def test_surface_properties(self, cached, server):
         assert cached.k == server.k
         assert cached.dim == server.dim
+        assert cached.num_entities == server.num_entities
+        assert cached.num_relations == server.num_relations
+        assert cached.known_items() == server.known_items()
+
+    def test_relation_existence_passthrough(self, cached, server, catalog):
+        entity = catalog.items[0].entity_id
+        assert cached.relation_existence_score(entity, 0) == pytest.approx(
+            server.relation_existence_score(entity, 0)
+        )
 
     def test_raw_services_pass_through(self, cached, server, catalog):
         heads = np.array([catalog.items[0].entity_id])

@@ -46,6 +46,28 @@ class TestServerSaveLoad:
         with pytest.raises(KeyError):
             restored.serve(10**9)
 
+    def test_save_load_save_roundtrip(self, server, catalog, tmp_path):
+        """A loaded server must itself be saveable (frozen selectors
+        expose the same public surface as live ones)."""
+        first = tmp_path / "first.npz"
+        second = tmp_path / "second.npz"
+        server.save(first)
+        restored = PKGMServer.load(first)
+        restored.save(second)
+        twice = PKGMServer.load(second)
+        for item in catalog.items[:5]:
+            assert np.allclose(
+                server.serve(item.entity_id).sequence(),
+                twice.serve(item.entity_id).sequence(),
+            )
+        assert twice.known_items() == server.known_items()
+
+    def test_known_items_preserved_across_roundtrip(self, server, tmp_path):
+        path = tmp_path / "server.npz"
+        server.save(path)
+        restored = PKGMServer.load(path)
+        assert restored.known_items() == server.known_items()
+
     def test_snapshot_is_self_contained(self, server, catalog, tmp_path):
         """Loading must not need the model, selector, or triple store."""
         path = tmp_path / "server.npz"

@@ -1,0 +1,133 @@
+"""Tests for crash-consistent checkpointing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    CheckpointError,
+    CheckpointManager,
+    atomic_save_npz,
+    atomic_write_bytes,
+    restore_rng,
+    rng_state,
+)
+
+
+class TestAtomicWrite:
+    def test_write_and_checksum(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        digest = atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+        assert len(digest) == 64
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"old-contents")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "a.bin", b"payload")
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        table = np.arange(12, dtype=np.float64).reshape(3, 4)
+        atomic_save_npz(path, {"table": table})
+        with np.load(path) as data:
+            assert np.array_equal(data["table"], table)
+
+
+class TestRngState:
+    def test_roundtrip_reproduces_stream(self):
+        rng = np.random.default_rng(42)
+        rng.random(10)
+        state = rng_state(rng)
+        expected = rng.random(5).tolist()
+        other = np.random.default_rng(0)
+        restore_rng(other, state)
+        assert other.random(5).tolist() == expected
+
+    def test_state_is_json_safe(self):
+        state = rng_state(np.random.default_rng(1))
+        json.dumps(state)  # must not raise
+
+
+class TestCheckpointManager:
+    def arrays(self, value=1.0):
+        return {"w": np.full((4, 2), value), "step": np.array([3])}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(5, self.arrays(2.5), metadata={"epoch": 5})
+        arrays, metadata = manager.load()
+        assert np.allclose(arrays["w"], 2.5)
+        assert metadata["epoch"] == 5
+
+    def test_latest_picks_highest_step(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=5)
+        for step in (1, 3, 2):
+            manager.save(step, self.arrays(step))
+        assert manager.latest() == 3
+        arrays, _ = manager.load()
+        assert np.allclose(arrays["w"], 3.0)
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in range(5):
+            manager.save(step, self.arrays(step))
+        assert manager.steps() == [3, 4]
+        assert not manager.payload_path(0).exists()
+
+    def test_orphan_payload_is_invisible(self, tmp_path):
+        """A crash between payload and manifest writes must leave the
+        previous checkpoint as 'latest', not the torn one."""
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, self.arrays())
+        # Simulate the crash: payload for step 2 lands, manifest never does.
+        atomic_save_npz(manager.payload_path(2), self.arrays())
+        assert manager.latest() == 1
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, self.arrays())
+        payload = manager.payload_path(1)
+        blob = bytearray(payload.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            manager.load(1)
+
+    def test_load_missing_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError):
+            manager.load()
+        with pytest.raises(CheckpointError):
+            manager.load(9)
+
+    def test_clear_removes_everything(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, self.arrays())
+        manager.clear()
+        assert manager.latest() is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_manifest_records_schema(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, self.arrays())
+        with open(manager.manifest_path(1), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["arrays"]["w"]["shape"] == [4, 2]
+        assert "sha256" in manifest
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, prefix="../evil")
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError):
+            manager.save(-1, self.arrays())

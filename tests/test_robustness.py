@@ -1,4 +1,12 @@
-"""Failure-injection and robustness tests across the stack."""
+"""Failure-injection and robustness tests across the stack.
+
+The chaos classes at the bottom exercise the :mod:`repro.reliability`
+stack end-to-end; their fault plans are seeded from ``REPRO_CHAOS_SEED``
+(default 0, exported by ``tools/check.sh``) so the gate always replays
+one documented fault sequence.
+"""
+
+import os
 
 import numpy as np
 import pytest
@@ -8,11 +16,16 @@ from repro.core import (
     PKGMConfig,
     PKGMServer,
     PKGMTrainer,
+    SnapshotError,
     TrainerConfig,
 )
+from repro.distributed import DistributedConfig, DistributedPKGMTrainer
 from repro.kg import TripleStore
 from repro.kg.io import load_kg_npz, load_triples_tsv
 from repro.nn import no_grad
+from repro.reliability import CrashEvent, FaultPlan, RetryPolicy
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
 
 class TestTrainerGuards:
@@ -43,7 +56,7 @@ class TestCorruptArtifacts:
     def test_load_server_with_missing_keys_raises(self, tmp_path):
         path = tmp_path / "bad_server.npz"
         np.savez_compressed(path, entity_table=np.zeros((3, 2)))
-        with pytest.raises(KeyError):
+        with pytest.raises(SnapshotError, match="relation_table"):
             PKGMServer.load(path)
 
     def test_tsv_with_embedded_tabs_raises(self, tmp_path):
@@ -110,3 +123,160 @@ class TestEmptyAndBoundaryInputs:
         vectors = server.serve(1)
         assert vectors.triple_vectors.shape == (2, 4)
         assert np.isfinite(vectors.sequence()).all()
+
+
+def _chaos_store(num_entities=40, num_relations=5, num_triples=300):
+    rng = np.random.default_rng(CHAOS_SEED)
+    triples = {
+        (
+            int(rng.integers(0, num_entities)),
+            int(rng.integers(0, num_relations)),
+            int(rng.integers(0, num_entities)),
+        )
+        for _ in range(num_triples)
+    }
+    return TripleStore(sorted(triples))
+
+
+def _chaos_model(num_entities=40, num_relations=5):
+    return PKGM(
+        num_entities,
+        num_relations,
+        PKGMConfig(dim=8),
+        rng=np.random.default_rng(CHAOS_SEED),
+    )
+
+
+def _chaos_config(epochs=8):
+    return DistributedConfig(
+        num_shards=4,
+        num_workers=4,
+        epochs=epochs,
+        batch_size=32,
+        learning_rate=0.02,
+        seed=CHAOS_SEED,
+    )
+
+
+class TestChaosTraining:
+    """End-to-end fault plans against the distributed trainer."""
+
+    def test_push_drops_still_converge_within_tolerance(self):
+        """≥10% dropped pushes must not change where training lands."""
+        store = _chaos_store()
+        clean = DistributedPKGMTrainer(_chaos_model(), _chaos_config()).train(store)
+        plan = FaultPlan(seed=CHAOS_SEED, push_drop_prob=0.15)
+        trainer = DistributedPKGMTrainer(
+            _chaos_model(), _chaos_config(), faults=plan
+        )
+        faulted = trainer.train(store)
+        assert trainer.fault_stats.pushes_dropped > 0
+        assert faulted[-1] < clean[0]  # it still actually trained
+        assert abs(faulted[-1] - clean[-1]) <= 0.10 * abs(clean[-1])
+
+    def test_shard_crash_with_checkpoint_resume_matches_no_fault_run(
+        self, tmp_path
+    ):
+        """Crash + restore replays the checkpointed epochs bit-exactly,
+        so the final trajectory matches the fault-free run."""
+        store = _chaos_store()
+        clean = DistributedPKGMTrainer(_chaos_model(), _chaos_config()).train(store)
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            crashes=(CrashEvent(epoch=4, batch=3, shard=1),),
+        )
+        trainer = DistributedPKGMTrainer(
+            _chaos_model(),
+            _chaos_config(),
+            faults=plan,
+            checkpoint_dir=tmp_path,
+            resume=False,
+        )
+        faulted = trainer.train(store)
+        assert trainer.fault_stats.shard_crashes == 1
+        assert trainer.recoveries == 1
+        # Pure crash + recovery (no other faults): identical trajectory.
+        assert np.allclose(faulted, clean)
+
+    def test_shard_crash_without_checkpoint_degrades(self):
+        """The same crash with no checkpoint keeps training on damaged
+        state — reliably worse mid-run, which is what checkpoints buy."""
+        store = _chaos_store()
+        clean = DistributedPKGMTrainer(_chaos_model(), _chaos_config()).train(store)
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            crashes=(CrashEvent(epoch=4, batch=3, shard=1),),
+        )
+        trainer = DistributedPKGMTrainer(_chaos_model(), _chaos_config(), faults=plan)
+        faulted = trainer.train(store)
+        assert trainer.recoveries == 0
+        # The crash epoch loses trained rows: loss jumps above clean.
+        assert faulted[4] > clean[4]
+
+    def test_documented_fault_plan_is_deterministic(self, tmp_path):
+        """The acceptance-criteria plan: ≥10% drops + one crash with
+        resume.  Two runs under the same seeds are identical."""
+        store = _chaos_store()
+
+        def run(directory):
+            plan = FaultPlan(
+                seed=CHAOS_SEED,
+                push_drop_prob=0.10,
+                rpc_error_prob=0.02,
+                crashes=(CrashEvent(epoch=4, batch=2, shard=0),),
+            )
+            trainer = DistributedPKGMTrainer(
+                _chaos_model(),
+                _chaos_config(),
+                faults=plan,
+                retry=RetryPolicy(seed=CHAOS_SEED),
+                checkpoint_dir=directory,
+                resume=False,
+            )
+            return trainer.train(store), trainer
+
+        losses_a, trainer_a = run(tmp_path / "a")
+        losses_b, trainer_b = run(tmp_path / "b")
+        assert np.allclose(losses_a, losses_b)
+        assert trainer_a.fault_stats.pushes_dropped == (
+            trainer_b.fault_stats.pushes_dropped
+        )
+        clean = DistributedPKGMTrainer(_chaos_model(), _chaos_config()).train(store)
+        assert abs(losses_a[-1] - clean[-1]) <= 0.10 * abs(clean[-1])
+
+    def test_killed_distributed_run_resumes_bit_exactly(self, tmp_path):
+        """Train 4 epochs, 'die', resume to 8: same as training 8."""
+        store = _chaos_store()
+        full = DistributedPKGMTrainer(_chaos_model(), _chaos_config(8)).train(store)
+        DistributedPKGMTrainer(
+            _chaos_model(), _chaos_config(4), checkpoint_dir=tmp_path
+        ).train(store)
+        resumed = DistributedPKGMTrainer(
+            _chaos_model(), _chaos_config(8), checkpoint_dir=tmp_path
+        ).train(store)
+        assert np.allclose(full, resumed)
+
+    def test_killed_single_process_run_resumes_bit_exactly(self, tmp_path):
+        """PKGMTrainer: kill after 3 of 6 epochs, resume, same result."""
+        store = _chaos_store()
+
+        def fresh():
+            return _chaos_model()
+
+        config6 = TrainerConfig(epochs=6, batch_size=32, seed=CHAOS_SEED)
+        full_model = fresh()
+        full = PKGMTrainer(full_model, config6).train(store)
+        PKGMTrainer(
+            fresh(),
+            TrainerConfig(epochs=3, batch_size=32, seed=CHAOS_SEED),
+            checkpoint_dir=tmp_path,
+        ).train(store)
+        resumed_model = fresh()
+        resumed = PKGMTrainer(
+            resumed_model, config6, checkpoint_dir=tmp_path
+        ).train(store)
+        assert np.allclose(full.epoch_losses, resumed.epoch_losses)
+        assert np.allclose(
+            full_model.triple_module.entity_embeddings.weight.data,
+            resumed_model.triple_module.entity_embeddings.weight.data,
+        )

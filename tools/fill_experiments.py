@@ -32,6 +32,7 @@ MAPPING = {
     "ABL_COMPLETION": "ablation_completion.txt",
     "ABL_KGE": "ablation_kge.txt",
     "ABL_DIST": "ablation_distributed.txt",
+    "ABL_FAULTS": "ablation_faults.txt",
     "ABL_RULES": "ablation_rules.txt",
     "EXT_ATTR": "extension_attribute_prediction.txt",
 }
