@@ -12,6 +12,7 @@ writing Python:
     python -m repro.cli recommend                  # Table VIII
     python -m repro.cli complete                   # §II-D completion demo
     python -m repro.cli chaos --crash-epoch 4      # fault-injected training
+    python -m repro.cli loadtest --profile spike   # overload-serving drill
     python -m repro.cli lint src tests             # static-analysis gate
 
 Experiment commands accept ``--preset {smoke,default,bench}`` and
@@ -244,6 +245,79 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if gap <= args.tolerance else 1
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive the overload gateway with a seeded open-loop traffic profile.
+
+    Builds an untrained PKGM server at the preset's catalog scale
+    (overload mechanics do not depend on trained weights), fronts it
+    with ``--replicas`` hedging replicas behind the admission
+    controller, and replays the requested profile — including a
+    mid-run ``drain()`` + snapshot swap at ``--drain-at``.  With a
+    fixed ``--seed`` the printed metrics are byte-identical across
+    runs; under overload the gateway sheds (degraded payloads), it
+    never raises.
+    """
+    from .core import KeyRelationSelector, PKGMServer
+    from .data import generate_catalog
+    from .reliability import (
+        AdmissionConfig,
+        GatewayConfig,
+        LoadTestConfig,
+        PKGMGateway,
+        build_replicas,
+        run_loadtest,
+    )
+
+    config = _load_config(args)
+    catalog = generate_catalog(config.catalog)
+    item_to_category = {item.entity_id: item.category_id for item in catalog.items}
+    selector = KeyRelationSelector(
+        catalog.store, item_to_category, k=config.key_relations
+    )
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        config.pkgm,
+        rng=np.random.default_rng(config.seed),
+    )
+    server = PKGMServer(model, selector)
+    gateway = PKGMGateway(
+        build_replicas(server, args.replicas, seed=args.load_seed),
+        GatewayConfig(
+            deadline_budget=args.deadline,
+            hedge_after=args.hedge_after if args.hedge_after > 0 else None,
+            admission=AdmissionConfig(
+                rate=args.admit_rate if args.admit_rate > 0 else None,
+                burst=args.admit_burst,
+                queue_capacity=args.queue_capacity,
+            ),
+        ),
+        seed=args.load_seed,
+    )
+    report = run_loadtest(
+        gateway,
+        server.known_items(),
+        LoadTestConfig(
+            profile=args.profile,
+            requests=args.requests,
+            base_rate=args.rate,
+            seed=args.load_seed,
+            drain_at=args.drain_at if 0.0 < args.drain_at < 1.0 else None,
+        ),
+    )
+    for row in report.as_rows():
+        print(row)
+    print(gateway.stats.as_row())
+    print(gateway.admission.stats.as_row())
+    if args.verbose:
+        for replica in gateway.replicas:
+            print(
+                f"{replica.name}: calls {replica.calls} | "
+                f"cancelled {replica.cancelled}"
+            )
+    return 0
+
+
 def cmd_complete(args: argparse.Namespace) -> int:
     """Demonstrate completion-during-service on held-out facts."""
     config = _load_config(args)
@@ -317,6 +391,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.10,
         help="max final-loss gap vs the fault-free run (exit 1 beyond)",
     )
+    load = sub.add_parser(
+        "loadtest", help="seeded overload drill against the serving gateway"
+    )
+    common(load)
+    load.add_argument(
+        "--profile", choices=("sustained", "ramp", "spike"), default="spike"
+    )
+    load.add_argument("--requests", type=int, default=2000)
+    load.add_argument("--rate", type=float, default=400.0)
+    load.add_argument("--replicas", type=int, default=2)
+    load.add_argument("--deadline", type=float, default=0.25)
+    load.add_argument(
+        "--hedge-after",
+        type=float,
+        default=0.05,
+        help="hedge a request after this many virtual seconds (<=0 disables)",
+    )
+    load.add_argument(
+        "--admit-rate",
+        type=float,
+        default=300.0,
+        help="token-bucket admit rate per virtual second (<=0 disables)",
+    )
+    load.add_argument("--admit-burst", type=float, default=64.0)
+    load.add_argument("--queue-capacity", type=int, default=64)
+    load.add_argument(
+        "--drain-at",
+        type=float,
+        default=0.5,
+        help="run fraction for the drain+swap drill (outside (0,1) disables)",
+    )
+    load.add_argument(
+        "--load-seed",
+        type=int,
+        default=0,
+        help="seed for arrivals, priorities and replica latency draws",
+    )
     lint = sub.add_parser(
         "lint",
         parents=[lint_cli.build_parser()],
@@ -335,6 +446,7 @@ COMMANDS = {
     "recommend": cmd_recommend,
     "complete": cmd_complete,
     "chaos": cmd_chaos,
+    "loadtest": cmd_loadtest,
     "lint": lint_cli.run_lint,
 }
 

@@ -88,10 +88,14 @@ class CachedPKGMServer:
             return cached
         self._misses += 1
         vectors = self._server.serve(entity_id)
-        self._cache[entity_id] = vectors
-        if len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
-            self._evictions += 1
+        if not vectors.degraded:
+            # A degraded payload is an outage artifact, not model output:
+            # caching it would keep serving the fallback long after the
+            # backend recovered.  Let the next request retry live.
+            self._cache[entity_id] = vectors
+            if len(self._cache) > self._capacity:
+                self._cache.popitem(last=False)
+                self._evictions += 1
         return vectors
 
     def serve_batch(self, entity_ids: Sequence[int]) -> List[ServiceVectors]:

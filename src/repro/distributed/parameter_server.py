@@ -186,19 +186,33 @@ class PKGMWorker:
         server: ParameterServer,
         margin: float,
         retrier=None,
+        pull_budget: Optional[float] = None,
     ) -> None:
         if margin <= 0:
             raise ValueError("margin must be positive")
+        if pull_budget is not None and pull_budget <= 0:
+            raise ValueError("pull_budget must be positive when set")
         self.server = server
         self.margin = margin
         # Optional repro.reliability.retry.Retrier wrapping the pull RPCs
         # (transient RPCErrors from an injected fault plan get retried).
         self.retrier = retrier
+        # Optional per-pull deadline budget (virtual seconds on the
+        # retrier's clock): a pull whose retries cannot fit the budget
+        # raises DeadlineExceededError instead of backing off past it.
+        self.pull_budget = pull_budget
 
     def _pull(self, name: str, rows: np.ndarray) -> np.ndarray:
         if self.retrier is None:
             return self.server.pull(name, rows)
-        return self.retrier.call(self.server.pull, name, rows)
+        if self.pull_budget is None:
+            return self.retrier.call(self.server.pull, name, rows)
+        from ..reliability.admission import Deadline
+
+        deadline = Deadline(self.retrier.clock, self.pull_budget)
+        return self.retrier.call_with_deadline(
+            deadline, self.server.pull, name, rows
+        )
 
     def compute(self, positives: np.ndarray, negatives: np.ndarray) -> GradientPacket:
         """Gradient packet for one (positives, negatives) batch pair."""
@@ -332,6 +346,7 @@ class DistributedPKGMTrainer:
         checkpoint_dir=None,
         checkpoint_every: int = 1,
         resume: bool = True,
+        pull_budget: Optional[float] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -371,7 +386,12 @@ class DistributedPKGMTrainer:
             PKGMWorker.MATRIX, model.relation_module.transfer_matrices.data
         )
         self.workers = [
-            PKGMWorker(self.server, margin=self.config.margin, retrier=self._retrier)
+            PKGMWorker(
+                self.server,
+                margin=self.config.margin,
+                retrier=self._retrier,
+                pull_budget=pull_budget,
+            )
             for _ in range(self.config.num_workers)
         ]
 
@@ -387,7 +407,7 @@ class DistributedPKGMTrainer:
 
     def train(self, store: TripleStore) -> List[float]:
         """Run the asynchronous loop; returns per-epoch mean losses."""
-        from ..reliability.retry import RetryExhaustedError
+        from ..reliability.retry import DeadlineExceededError, RetryExhaustedError
 
         rng = np.random.default_rng(self.config.seed)
         sampler = EdgeSampler.with_uniform(
@@ -427,7 +447,9 @@ class DistributedPKGMTrainer:
                 worker = self.workers[batch_index % len(self.workers)]
                 try:
                     packet = worker.compute(batch.positives, batch.negatives[0])
-                except RetryExhaustedError:
+                except (RetryExhaustedError, DeadlineExceededError):
+                    # Exhausted retries or a blown pull deadline: the
+                    # batch is abandoned either way (a worker timeout).
                     self.abandoned_batches += 1
                     continue
                 pending.append(packet)

@@ -11,4 +11,5 @@ from . import (  # noqa: F401
     exports,
     randomness,
     tensors,
+    wallclock,
 )

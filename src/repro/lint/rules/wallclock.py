@@ -1,0 +1,103 @@
+"""``wall-clock-in-reliability``: real-time calls in the virtual-clock stack.
+
+Everything under :mod:`repro.reliability` runs on a virtual
+:class:`~repro.reliability.retry.StepClock` so that retries, circuit
+breakers, deadlines, hedges and load tests are deterministic and
+replayable.  A single ``time.sleep()`` or ``time.time()`` in that stack
+reintroduces wall-clock nondeterminism: tests get slow and flaky, and
+two runs of the same seeded load test stop producing byte-identical
+reports.  This rule flags, inside the scoped paths only:
+
+* calls through the ``time`` module (``time.sleep(...)``,
+  ``import time as t; t.monotonic()``);
+* calls to names imported from it (``from time import sleep``).
+
+Reading the virtual clock (``clock.now()``) is the sanctioned
+alternative; code that genuinely needs wall time (none today) belongs
+outside ``src/repro/reliability/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from ..registry import Rule, register
+from ..violations import Violation
+
+#: ``time``-module attributes that read or consume real time.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "sleep",
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+
+
+@register
+class WallClockInReliabilityRule(Rule):
+    """Flags wall-clock ``time`` calls inside the reliability package."""
+
+    name = "wall-clock-in-reliability"
+    code = "R007"
+    description = (
+        "time.sleep/time.time/time.monotonic inside repro.reliability; "
+        "use the virtual StepClock"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Path fragments (matched against the display path with forward
+        #: slashes) that put a module inside the virtual-clock stack.
+        self.scoped_paths: Tuple[str, ...] = ("repro/reliability/",)
+        #: ``time``-module attribute names treated as wall-clock reads.
+        self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))
+
+    def check(self, ctx) -> Iterator[Violation]:
+        path = ctx.display_path.replace("\\", "/")
+        if not any(fragment in path for fragment in self.scoped_paths):
+            return
+        banned = set(self.banned_calls)
+
+        time_aliases: Set[str] = set()  # names bound to the time module
+        banned_fns: Set[str] = set()  # local names of from-imports
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                banned_fns.update(
+                    alias.asname or alias.name
+                    for alias in node.names
+                    if alias.name in banned
+                )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in banned_fns:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock call time.{func.id}() in the reliability "
+                    "stack; use the virtual StepClock",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in banned
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock call time.{func.attr}() in the reliability "
+                    "stack; use the virtual StepClock",
+                )

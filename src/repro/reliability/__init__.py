@@ -14,9 +14,27 @@ the reproduction survive the same weather, deterministically:
   (atomic tmp-write → fsync → rename, checksummed manifests) with
   bit-exact RNG-state resume;
 * :mod:`repro.reliability.serving` — :class:`ResilientPKGMServer`, the
-  never-raising degraded-mode serving facade.
+  never-raising degraded-mode serving facade;
+* :mod:`repro.reliability.admission` — overload protection: token
+  bucket, AIMD concurrency limit, bounded priority queue, deadlines;
+* :mod:`repro.reliability.gateway` — :class:`PKGMGateway`, the
+  overload-safe front door with deadline propagation, hedged requests
+  and graceful drain/swap;
+* :mod:`repro.reliability.loadtest` — seeded open-loop traffic
+  profiles (spike / ramp / sustained) with deterministic reports.
 """
 
+from .admission import (
+    AdmissionAction,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+    AIMDLimiter,
+    BoundedPriorityQueue,
+    Deadline,
+    TokenBucket,
+)
 from .checkpoint import (
     CheckpointError,
     CheckpointManager,
@@ -33,9 +51,21 @@ from .faults import (
     FaultyParameterServer,
     FlakyServingBackend,
 )
+from .gateway import (
+    GatewayConfig,
+    GatewayRequest,
+    GatewayResponse,
+    GatewayStats,
+    LatencyModel,
+    PKGMGateway,
+    TimedBackend,
+    build_replicas,
+)
+from .loadtest import PROFILES, LoadTestConfig, LoadTestReport, run_loadtest
 from .retry import (
     CircuitBreaker,
     CircuitOpenError,
+    DeadlineExceededError,
     Retrier,
     RetryExhaustedError,
     RetryPolicy,
@@ -43,19 +73,37 @@ from .retry import (
     RPCError,
     StepClock,
 )
-from .serving import DegradationStats, ResilientPKGMServer
+from .serving import DegradationStats, ResilientPKGMServer, fallback_payload
 
 __all__ = [
+    "AIMDLimiter",
+    "AdmissionAction",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "BoundedPriorityQueue",
     "CheckpointError",
     "CheckpointManager",
     "CircuitBreaker",
     "CircuitOpenError",
     "CrashEvent",
+    "Deadline",
+    "DeadlineExceededError",
     "DegradationStats",
     "FaultPlan",
     "FaultStats",
     "FaultyParameterServer",
     "FlakyServingBackend",
+    "GatewayConfig",
+    "GatewayRequest",
+    "GatewayResponse",
+    "GatewayStats",
+    "LatencyModel",
+    "LoadTestConfig",
+    "LoadTestReport",
+    "PKGMGateway",
+    "PROFILES",
     "RPCError",
     "ResilientPKGMServer",
     "Retrier",
@@ -63,9 +111,14 @@ __all__ = [
     "RetryPolicy",
     "RetryStats",
     "StepClock",
+    "TimedBackend",
+    "TokenBucket",
     "atomic_save_npz",
     "atomic_write_bytes",
     "atomic_write_json",
+    "build_replicas",
+    "fallback_payload",
     "restore_rng",
     "rng_state",
+    "run_loadtest",
 ]

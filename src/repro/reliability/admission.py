@@ -1,0 +1,390 @@
+"""Admission control: rate limiting, adaptive concurrency, and shedding.
+
+The paper's serving tier answers service-vector requests for hundreds
+of millions of items; at that scale *overload* is as routine as
+failure.  A server without admission control converts a traffic spike
+into unbounded queueing, blown tail latencies, and cascading timeouts.
+This module supplies the standard production counter-measures, every
+one of them deterministic on the virtual
+:class:`repro.reliability.retry.StepClock`:
+
+* :class:`TokenBucket` — a classic rate limiter: requests spend
+  tokens that refill at ``rate`` per virtual second up to ``burst``;
+* :class:`AIMDLimiter` — an adaptive concurrency limit (additive
+  increase on healthy completions, multiplicative decrease on overload
+  signals), the TCP-congestion-control shape used by gradient/Netflix
+  concurrency-limits style limiters;
+* :class:`BoundedPriorityQueue` — the wait queue: bounded, ordered by
+  (priority desc, arrival asc), with deterministic shedding on
+  overflow (a higher-priority arrival evicts the youngest
+  lowest-priority waiter; otherwise the arrival itself is shed);
+* :class:`Deadline` — a per-request time budget that layers propagate
+  into backend calls so work is cancelled, not queued, once it cannot
+  possibly be useful;
+* :class:`AdmissionController` — composes the three mechanisms behind
+  one decision API and keeps :class:`AdmissionStats`.
+
+Shedding here never *errors*: callers (the gateway) translate a shed
+decision into the existing flagged ``degraded=True`` fallback payload,
+so overload degrades answers instead of raising exceptions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from .retry import StepClock
+
+T = TypeVar("T")
+
+
+class Deadline:
+    """An absolute virtual-time budget for one request.
+
+    Created from a relative ``budget`` against a :class:`StepClock`;
+    layers pass the object down (gateway → retrier → backend call) so
+    every stage sees the *same* remaining budget instead of each
+    applying its own timeout.
+    """
+
+    def __init__(self, clock: StepClock, budget: float) -> None:
+        if budget < 0:
+            raise ValueError("deadline budget must be >= 0")
+        self.clock = clock
+        self.expires_at = clock.now() + budget
+
+    def remaining(self) -> float:
+        """Virtual seconds left before expiry (never negative)."""
+        return max(0.0, self.expires_at - self.clock.now())
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self.clock.now() >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(expires_at={self.expires_at:.3f}, " f"remaining={self.remaining():.3f})"
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter on a virtual clock.
+
+    ``rate`` tokens accrue per virtual second up to ``burst``; a
+    request takes one token or is refused.  ``rate=None`` disables the
+    limiter (always admits).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 32.0,
+        clock: Optional[StepClock] = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.clock = clock if clock is not None else StepClock()
+        self._tokens = float(burst)
+        self._last_refill = self.clock.now()
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0 and self.rate is not None:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last_refill = now
+
+    def available(self) -> float:
+        """Tokens currently available (after refill)."""
+        self._refill()
+        return self._tokens if self.rate is not None else float("inf")
+
+    def try_take(self) -> bool:
+        """Spend one token; ``False`` means the request is rate-shed."""
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AIMDLimiter:
+    """Adaptive concurrency limit: additive increase, multiplicative decrease.
+
+    Healthy completions grow the limit by ``increase / limit`` (one
+    extra slot per full window of successes, TCP-style); overload
+    signals — deadline misses, latencies past the target — cut it by
+    ``decrease`` at most once per limit-window.  The limit always stays
+    within ``[min_limit, max_limit]``.
+    """
+
+    def __init__(
+        self,
+        initial: int = 8,
+        min_limit: int = 1,
+        max_limit: int = 64,
+        increase: float = 1.0,
+        decrease: float = 0.5,
+    ) -> None:
+        if not 1 <= min_limit <= initial <= max_limit:
+            raise ValueError("need 1 <= min_limit <= initial <= max_limit")
+        if increase <= 0:
+            raise ValueError("increase must be positive")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.increase = increase
+        self.decrease = decrease
+        self._limit = float(initial)
+        self.raises = 0
+        self.backoffs = 0
+
+    @property
+    def limit(self) -> int:
+        """The current integer concurrency limit."""
+        return int(self._limit)
+
+    def on_success(self) -> None:
+        """A completion under the latency target: grow additively."""
+        before = self.limit
+        self._limit = min(
+            float(self.max_limit), self._limit + self.increase / max(self._limit, 1.0)
+        )
+        if self.limit > before:
+            self.raises += 1
+
+    def on_overload(self) -> None:
+        """An overload signal: shrink multiplicatively."""
+        self._limit = max(float(self.min_limit), self._limit * self.decrease)
+        self.backoffs += 1
+
+
+@dataclass(order=True)
+class _QueueEntry(Generic[T]):
+    """Heap entry ordered by (priority desc, arrival seq asc)."""
+
+    sort_key: Tuple[int, int]
+    seq: int = field(compare=False)
+    priority: int = field(compare=False)
+    item: T = field(compare=False)
+
+
+class BoundedPriorityQueue(Generic[T]):
+    """A bounded wait queue ordered by priority, FIFO within a priority.
+
+    ``push`` on a full queue sheds deterministically: if the arrival
+    outranks the weakest waiter (lowest priority; youngest arrival
+    breaks ties), that waiter is evicted and returned; otherwise the
+    arrival itself is returned as rejected.  Tail-dropping equal
+    priorities keeps older (already-queued) work first.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._heap: List[_QueueEntry[T]] = []
+        self._dead: set = set()
+        self._size = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, item: T, priority: int = 0) -> Optional[T]:
+        """Enqueue ``item``; returns the shed item on overflow (which
+        may be ``item`` itself), else ``None``."""
+        if self._size >= self.capacity:
+            weakest = self._weakest()
+            if weakest is None or priority <= weakest.priority:
+                return item
+            self._dead.add(weakest.seq)
+            self._size -= 1
+            evicted = weakest.item
+        else:
+            evicted = None
+        entry = _QueueEntry(
+            sort_key=(-priority, self._seq), seq=self._seq, priority=priority, item=item
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        self._size += 1
+        return evicted
+
+    def pop(self) -> Optional[T]:
+        """Dequeue the highest-priority, oldest waiter (``None`` if empty)."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.seq in self._dead:
+                self._dead.discard(entry.seq)
+                continue
+            self._size -= 1
+            return entry.item
+        return None
+
+    def _weakest(self) -> Optional[_QueueEntry[T]]:
+        """The live entry shed first: lowest priority, youngest arrival."""
+        weakest: Optional[_QueueEntry[T]] = None
+        for entry in self._heap:
+            if entry.seq in self._dead:
+                continue
+            if weakest is None or (entry.priority, -entry.seq) < (
+                weakest.priority,
+                -weakest.seq,
+            ):
+                weakest = entry
+        return weakest
+
+
+class AdmissionAction(Enum):
+    """What the controller decided for one arriving request."""
+
+    START = "start"
+    QUEUE = "queue"
+    SHED_RATE = "shed-rate-limited"
+    SHED_QUEUE_FULL = "shed-queue-full"
+
+
+@dataclass
+class AdmissionDecision(Generic[T]):
+    """Controller verdict: the action plus any evicted queue victim."""
+
+    action: AdmissionAction
+    evicted: Optional[T] = None
+
+
+@dataclass
+class AdmissionStats:
+    """Accounting for one :class:`AdmissionController`."""
+
+    arrived: int = 0
+    started: int = 0
+    queued: int = 0
+    shed_rate_limited: int = 0
+    shed_queue_full: int = 0
+    evicted: int = 0
+    completed_ok: int = 0
+    completed_overload: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total requests refused by admission (rate + queue + evictions)."""
+        return self.shed_rate_limited + self.shed_queue_full + self.evicted
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrived if self.arrived else 0.0
+
+    def as_row(self) -> str:
+        return (
+            f"admission: arrived {self.arrived} | started {self.started} | "
+            f"queued {self.queued} | shed-rate {self.shed_rate_limited} | "
+            f"shed-queue {self.shed_queue_full} | evicted {self.evicted} | "
+            f"shed {self.shed_rate:.2%}"
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for one :class:`AdmissionController`."""
+
+    rate: Optional[float] = None
+    burst: float = 32.0
+    initial_limit: int = 8
+    min_limit: int = 1
+    max_limit: int = 64
+    increase: float = 1.0
+    decrease: float = 0.5
+    queue_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class AdmissionController(Generic[T]):
+    """Token bucket + AIMD concurrency limit + bounded priority queue.
+
+    The controller tracks in-flight occupancy itself: ``offer`` admits,
+    queues, or sheds an arrival; ``release`` returns a slot (feeding
+    the AIMD limiter a health signal); ``next_ready`` hands back the
+    next queued item once a slot is free.  It knows nothing about what
+    a request *is* — the gateway owns payloads and fallback semantics.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        clock: Optional[StepClock] = None,
+    ) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self.clock = clock if clock is not None else StepClock()
+        self.bucket = TokenBucket(
+            rate=self.config.rate, burst=self.config.burst, clock=self.clock
+        )
+        self.limiter = AIMDLimiter(
+            initial=self.config.initial_limit,
+            min_limit=self.config.min_limit,
+            max_limit=self.config.max_limit,
+            increase=self.config.increase,
+            decrease=self.config.decrease,
+        )
+        self.queue: BoundedPriorityQueue[T] = BoundedPriorityQueue(
+            self.config.queue_capacity
+        )
+        self.inflight = 0
+        self.stats = AdmissionStats()
+
+    def has_slot(self) -> bool:
+        """Whether a request could start right now (slot free, no queue)."""
+        return self.inflight < self.limiter.limit and len(self.queue) == 0
+
+    def offer(self, item: T, priority: int = 0) -> AdmissionDecision[T]:
+        """Decide the fate of one arrival; occupies a slot on START."""
+        self.stats.arrived += 1
+        if not self.bucket.try_take():
+            self.stats.shed_rate_limited += 1
+            return AdmissionDecision(AdmissionAction.SHED_RATE)
+        if self.has_slot():
+            self.inflight += 1
+            self.stats.started += 1
+            return AdmissionDecision(AdmissionAction.START)
+        shed = self.queue.push(item, priority)
+        if shed is item:
+            self.stats.shed_queue_full += 1
+            return AdmissionDecision(AdmissionAction.SHED_QUEUE_FULL)
+        self.stats.queued += 1
+        if shed is not None:
+            self.stats.evicted += 1
+            return AdmissionDecision(AdmissionAction.QUEUE, evicted=shed)
+        return AdmissionDecision(AdmissionAction.QUEUE)
+
+    def release(self, overloaded: bool = False) -> None:
+        """Return a slot; ``overloaded`` feeds the AIMD limiter."""
+        if self.inflight <= 0:
+            raise RuntimeError("release() without a matching started request")
+        self.inflight -= 1
+        if overloaded:
+            self.stats.completed_overload += 1
+            self.limiter.on_overload()
+        else:
+            self.stats.completed_ok += 1
+            self.limiter.on_success()
+
+    def next_ready(self) -> Optional[T]:
+        """Pop the next queued item into a free slot, if any."""
+        if self.inflight >= self.limiter.limit:
+            return None
+        item = self.queue.pop()
+        if item is not None:
+            self.inflight += 1
+            self.stats.started += 1
+        return item

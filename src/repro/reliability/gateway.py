@@ -1,0 +1,622 @@
+"""The overload-safe serving gateway: deadlines, hedging, drain/swap.
+
+:class:`PKGMGateway` fronts any PKGM-serving backend (``PKGMServer``,
+``CachedPKGMServer``, ``ResilientPKGMServer``) the way a production
+edge fronts a model service:
+
+* every arrival passes the :class:`~repro.reliability.admission.AdmissionController`
+  — token-bucket rate limit, AIMD concurrency limit, bounded priority
+  queue — and a shed request is *answered* with the existing flagged
+  ``degraded=True`` fallback payload, never an exception;
+* every admitted request carries a :class:`~repro.reliability.admission.Deadline`
+  budget that is propagated into the backend call (and, when the
+  backend supports it, into its retry loop), so work is cancelled once
+  it can no longer meet its deadline;
+* slow calls are **hedged**: after ``hedge_after`` virtual seconds the
+  same request is duplicated to the next replica and the first answer
+  wins, with cancellation accounting for the loser (the tail-latency
+  technique from Dean & Barroso's "The Tail at Scale");
+* a **graceful drain** lifecycle (``serving → draining → quiesced →
+  serving`` after ``swap``) refreshes the model snapshot without
+  dropping a single in-flight request.
+
+Time is entirely virtual: the gateway is a deterministic discrete-event
+simulation over the shared :class:`~repro.reliability.retry.StepClock`.
+The load generator advances the clock between arrivals; the gateway
+schedules starts and completions at exact virtual timestamps, so two
+runs with the same seed produce byte-identical metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cache import CachedPKGMServer
+from ..core.service import ServiceVectors
+from .admission import AdmissionConfig, AdmissionController, AdmissionAction, Deadline
+from .retry import RPCError, StepClock
+from .serving import fallback_payload
+
+#: Gateway lifecycle states (the drain/refresh state machine).
+SERVING, DRAINING, QUIESCED = "serving", "draining", "quiesced"
+
+
+class LatencyModel:
+    """Seeded virtual-latency distribution for one replica.
+
+    ``base + uniform(0, jitter)`` for the body of the distribution,
+    plus — with probability ``tail_prob`` — an exponential tail of mean
+    ``tail_scale`` (the stragglers hedging exists to cut).  All draws
+    come from one ``default_rng(seed)`` stream, so a replica's latency
+    sequence is a pure function of its seed and call order.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.004,
+        jitter: float = 0.004,
+        tail_prob: float = 0.03,
+        tail_scale: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if base < 0 or jitter < 0 or tail_scale < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= tail_prob <= 1.0:
+            raise ValueError("tail_prob must be in [0, 1]")
+        self.base = base
+        self.jitter = jitter
+        self.tail_prob = tail_prob
+        self.tail_scale = tail_scale
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        """One virtual service latency draw."""
+        latency = self.base + self.jitter * float(self._rng.random())
+        if self.tail_prob and float(self._rng.random()) < self.tail_prob:
+            latency += float(self._rng.exponential(self.tail_scale))
+        return latency
+
+
+@dataclass
+class BackendOutcome:
+    """What one (possibly hedged) backend call produced."""
+
+    vectors: Optional[ServiceVectors]
+    latency: float
+    reason: Optional[str] = None  # None | "rpc-error" | "unknown-id" | "deadline"
+    hedged: bool = False
+    hedge_won: bool = False
+
+
+class TimedBackend:
+    """A serving replica: any server surface plus a virtual-latency model.
+
+    ``serve_timed`` reports how long the call took in virtual seconds
+    *instead of* advancing any clock — the gateway owns the timeline.
+    A ``budget`` caps the call: a draw past the remaining budget is
+    reported as cancelled at the budget (reason ``"deadline"``) without
+    touching the server, and for backends whose ``serve`` accepts a
+    ``deadline`` (e.g. :class:`ResilientPKGMServer`) the remaining
+    budget is propagated as a :class:`Deadline` on the backend's own
+    clock.
+    """
+
+    def __init__(self, server, latency: Optional[LatencyModel] = None, name: str = "") -> None:
+        self.server = server
+        self.latency = latency if latency is not None else LatencyModel()
+        self.name = name
+        self.calls = 0
+        self.cancelled = 0
+        self._accepts_deadline = (
+            "deadline" in inspect.signature(server.serve).parameters
+        )
+
+    @property
+    def k(self) -> int:
+        return self.server.k
+
+    @property
+    def dim(self) -> int:
+        return self.server.dim
+
+    def serve_timed(
+        self, entity_id: int, budget: Optional[float] = None
+    ) -> Tuple[Optional[ServiceVectors], float, Optional[str]]:
+        """``(vectors, virtual_latency, reason)`` for one call."""
+        self.calls += 1
+        latency = self.latency.sample()
+        if budget is not None and latency >= budget:
+            self.cancelled += 1
+            return None, budget, "deadline"
+        try:
+            if self._accepts_deadline and budget is not None:
+                clock = getattr(self.server, "clock", None)
+                deadline = (
+                    Deadline(clock, budget - latency) if clock is not None else None
+                )
+                vectors = self.server.serve(entity_id, deadline=deadline)
+            else:
+                vectors = self.server.serve(entity_id)
+        except RPCError:
+            return None, latency, "rpc-error"
+        except (KeyError, IndexError):
+            return None, latency, "unknown-id"
+        return vectors, latency, None
+
+    def swap(self, server) -> None:
+        """Install a refreshed snapshot on this replica.
+
+        A :class:`CachedPKGMServer` (or anything exposing ``refresh``)
+        is refreshed in place — dropping its now-stale LRU entries —
+        otherwise the server object is replaced wholesale.
+        """
+        if hasattr(self.server, "refresh"):
+            self.server.refresh(server)
+        else:
+            self.server = server
+        self._accepts_deadline = (
+            "deadline" in inspect.signature(self.server.serve).parameters
+        )
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs for one :class:`PKGMGateway`."""
+
+    deadline_budget: float = 0.25
+    hedge_after: Optional[float] = 0.05
+    latency_target: float = 0.1
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+    def __post_init__(self) -> None:
+        if self.deadline_budget <= 0:
+            raise ValueError("deadline_budget must be positive")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError("hedge_after must be positive (or None to disable)")
+        if self.latency_target <= 0:
+            raise ValueError("latency_target must be positive")
+
+
+@dataclass(frozen=True)
+class GatewayRequest:
+    """One admitted request and its timing envelope."""
+
+    request_id: int
+    entity_id: int
+    priority: int
+    arrival: float
+    deadline_at: float
+
+
+@dataclass(frozen=True)
+class GatewayResponse:
+    """The answer for one request — exactly one per submitted request."""
+
+    request_id: int
+    entity_id: int
+    vectors: ServiceVectors
+    reason: Optional[str]  # None (ok) or why the answer is degraded
+    latency: float  # virtual queue wait + service time
+    completed_at: float
+    hedged: bool = False
+    hedge_won: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether this is a real (non-degraded) model answer."""
+        return not self.vectors.degraded
+
+
+@dataclass
+class GatewayStats:
+    """End-to-end accounting for one gateway."""
+
+    arrived: int = 0
+    completed_ok: int = 0
+    completed_degraded: int = 0
+    shed_rate_limited: int = 0
+    shed_queue_full: int = 0
+    shed_evicted: int = 0
+    shed_draining: int = 0
+    deadline_queue_misses: int = 0
+    deadline_backend_misses: int = 0
+    backend_errors: int = 0
+    hedges_sent: int = 0
+    hedge_wins: int = 0
+    hedge_cancelled: int = 0
+    drains: int = 0
+    swaps: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Requests refused by admission or the drain lifecycle."""
+        return (
+            self.shed_rate_limited
+            + self.shed_queue_full
+            + self.shed_evicted
+            + self.shed_draining
+        )
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of arrivals answered with real model output."""
+        return self.completed_ok / self.arrived if self.arrived else 0.0
+
+    @property
+    def hedge_win_rate(self) -> float:
+        return self.hedge_wins / self.hedges_sent if self.hedges_sent else 0.0
+
+    def as_row(self) -> str:
+        return (
+            f"gateway: arrived {self.arrived} | ok {self.completed_ok} | "
+            f"degraded {self.completed_degraded} | shed {self.shed} | "
+            f"deadline-misses "
+            f"{self.deadline_queue_misses + self.deadline_backend_misses} | "
+            f"hedges {self.hedges_sent} (wins {self.hedge_wins}) | "
+            f"goodput {self.goodput:.2%}"
+        )
+
+
+@dataclass(order=True)
+class _Completion:
+    """A scheduled in-flight completion (ordered by virtual time)."""
+
+    at: float
+    seq: int
+    response: GatewayResponse = field(compare=False)
+    overloaded: bool = field(compare=False, default=False)
+
+
+class PKGMGateway:
+    """Overload-safe front door for a set of serving replicas.
+
+    Usage is a three-call protocol driven by the load generator, which
+    owns the clock::
+
+        gateway.submit(entity_id, priority)   # at clock.now(); may shed
+        gateway.step()                        # completions up to now
+        gateway.drain(); gateway.swap(new)    # refresh lifecycle
+
+    ``submit`` returns a degraded :class:`GatewayResponse` immediately
+    when the request is shed, or ``None`` when it was started/queued —
+    its response then appears in a later ``step()`` (or ``drain()``)
+    batch.  Every submitted request is answered exactly once, and no
+    path raises.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        config: Optional[GatewayConfig] = None,
+        clock: Optional[StepClock] = None,
+        seed: int = 0,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.config = config if config is not None else GatewayConfig()
+        self.clock = clock if clock is not None else StepClock()
+        self.replicas: List[TimedBackend] = [
+            replica
+            if isinstance(replica, TimedBackend)
+            else TimedBackend(
+                replica,
+                latency=LatencyModel(seed=seed + index),
+                name=f"replica-{index}",
+            )
+            for index, replica in enumerate(replicas)
+        ]
+        self.admission: AdmissionController[GatewayRequest] = AdmissionController(
+            self.config.admission, clock=self.clock
+        )
+        self.state = SERVING
+        self.stats = GatewayStats()
+        self._inflight: List[_Completion] = []
+        self._done: List[GatewayResponse] = []
+        self._next_id = 0
+        self._seq = 0
+        self._rr = 0  # round-robin primary-replica cursor
+
+    # ------------------------------------------------------------------
+    # Surface
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.replicas[0].k
+
+    @property
+    def dim(self) -> int:
+        return self.replicas[0].dim
+
+    def inflight_count(self) -> int:
+        """Requests started but not yet completed (at the current time)."""
+        return len(self._inflight)
+
+    def queued_count(self) -> int:
+        return len(self.admission.queue)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, entity_id: int, priority: int = 0
+    ) -> Optional[GatewayResponse]:
+        """Offer one request at the current virtual time.
+
+        Returns the (degraded) response right away when the request is
+        shed; otherwise ``None`` — the answer will be emitted by a
+        later :meth:`step` / :meth:`drain`.
+        """
+        now = self.clock.now()
+        self._advance(now)
+        self.stats.arrived += 1
+        request = GatewayRequest(
+            request_id=self._next_id,
+            entity_id=int(entity_id),
+            priority=int(priority),
+            arrival=now,
+            deadline_at=now + self.config.deadline_budget,
+        )
+        self._next_id += 1
+        if self.state != SERVING:
+            self.stats.shed_draining += 1
+            return self._shed_response(request, "draining", now)
+        decision = self.admission.offer(request, priority=request.priority)
+        if decision.action is AdmissionAction.SHED_RATE:
+            self.stats.shed_rate_limited += 1
+            return self._shed_response(request, "rate-limited", now)
+        if decision.action is AdmissionAction.SHED_QUEUE_FULL:
+            self.stats.shed_queue_full += 1
+            return self._shed_response(request, "queue-full", now)
+        if decision.evicted is not None:
+            self.stats.shed_evicted += 1
+            self._done.append(
+                self._shed_response(decision.evicted, "evicted", now)
+            )
+        if decision.action is AdmissionAction.START:
+            self._start(request, now)
+        return None
+
+    def step(self) -> List[GatewayResponse]:
+        """Emit every response completed up to the current virtual time."""
+        self._advance(self.clock.now())
+        done, self._done = self._done, []
+        return done
+
+    # ------------------------------------------------------------------
+    # Drain / swap lifecycle
+    # ------------------------------------------------------------------
+    def drain(self) -> List[GatewayResponse]:
+        """``serving → draining → quiesced``: answer all in-flight work.
+
+        New submissions are shed (flagged ``"draining"``) while every
+        started or queued request runs to completion; the clock is
+        advanced to each scheduled completion, so nothing is dropped.
+        Returns the responses emitted during the drain.
+        """
+        self.state = DRAINING
+        self.stats.drains += 1
+        while self._inflight or len(self.admission.queue):
+            if not self._inflight:
+                self._fill_slots(self.clock.now())
+                continue
+            next_at = self._inflight[0].at
+            if next_at > self.clock.now():
+                self.clock.advance(next_at - self.clock.now())
+            self._advance(self.clock.now())
+        self.state = QUIESCED
+        done, self._done = self._done, []
+        return done
+
+    def swap(self, server) -> None:
+        """``quiesced → serving``: install a refreshed snapshot.
+
+        Requires a completed :meth:`drain` first — swapping under live
+        traffic would hand in-flight requests a changing model.
+        """
+        if self.state != QUIESCED:
+            raise RuntimeError(
+                f"swap requires the quiesced state (currently {self.state!r}); "
+                "call drain() first"
+            )
+        for replica in self.replicas:
+            replica.swap(server)
+        self.stats.swaps += 1
+        self.state = SERVING
+
+    # ------------------------------------------------------------------
+    # Internals: the discrete-event engine
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Retire completions up to ``now``; start queued work as slots free."""
+        while self._inflight and self._inflight[0].at <= now:
+            completion = heapq.heappop(self._inflight)
+            self._done.append(completion.response)
+            if completion.response.ok:
+                self.stats.completed_ok += 1
+            else:
+                self.stats.completed_degraded += 1
+            self.admission.release(overloaded=completion.overloaded)
+            # The slot freed at completion.at: queued work starts then,
+            # not at `now` — keeping the timeline causally consistent.
+            self._fill_slots(completion.at)
+        self._fill_slots(now)
+
+    def _fill_slots(self, at: float) -> None:
+        while True:
+            request = self.admission.next_ready()
+            if request is None:
+                return
+            self._start(request, at)
+
+    def _start(self, request: GatewayRequest, at: float) -> None:
+        """Run one admitted request's backend call, scheduling its
+        completion on the virtual timeline."""
+        if at >= request.deadline_at:
+            # Expired while waiting in the queue: answer immediately
+            # with the flagged fallback; the wasted wait is an overload
+            # signal for the AIMD limiter.
+            self.stats.deadline_queue_misses += 1
+            response = self._degraded_response(
+                request, "deadline", at, hedged=False, hedge_won=False
+            )
+            self._schedule(at, response, overloaded=True)
+            return
+        outcome = self._call_backend(request, budget=request.deadline_at - at)
+        completed_at = at + outcome.latency
+        if outcome.reason == "deadline":
+            self.stats.deadline_backend_misses += 1
+            response = self._degraded_response(
+                request,
+                "deadline",
+                request.deadline_at,
+                hedged=outcome.hedged,
+                hedge_won=outcome.hedge_won,
+            )
+            self._schedule(request.deadline_at, response, overloaded=True)
+            return
+        if outcome.reason is not None:
+            self.stats.backend_errors += 1
+            response = self._degraded_response(
+                request,
+                outcome.reason,
+                completed_at,
+                hedged=outcome.hedged,
+                hedge_won=outcome.hedge_won,
+            )
+            self._schedule(completed_at, response, overloaded=False)
+            return
+        response = GatewayResponse(
+            request_id=request.request_id,
+            entity_id=request.entity_id,
+            vectors=outcome.vectors,
+            reason=None,
+            latency=completed_at - request.arrival,
+            completed_at=completed_at,
+            hedged=outcome.hedged,
+            hedge_won=outcome.hedge_won,
+        )
+        overloaded = outcome.latency > self.config.latency_target
+        self._schedule(completed_at, response, overloaded=overloaded)
+
+    def _schedule(
+        self, at: float, response: GatewayResponse, overloaded: bool
+    ) -> None:
+        heapq.heappush(
+            self._inflight,
+            _Completion(at=at, seq=self._seq, response=response, overloaded=overloaded),
+        )
+        self._seq += 1
+
+    def _call_backend(self, request: GatewayRequest, budget: float) -> BackendOutcome:
+        """One possibly-hedged call: first answer wins, loser is cancelled."""
+        primary = self.replicas[self._rr % len(self.replicas)]
+        self._rr += 1
+        vectors, latency, reason = primary.serve_timed(
+            request.entity_id, budget=budget
+        )
+        hedge_after = self.config.hedge_after
+        if (
+            hedge_after is None
+            or len(self.replicas) < 2
+            or reason == "unknown-id"  # a domain error: hedging cannot help
+            or (reason is None and latency <= hedge_after)
+        ):
+            return BackendOutcome(vectors, latency, reason)
+        # The primary is slow (or failed): fire the hedge at the moment
+        # we would have noticed — hedge_after, or the failure time if
+        # the error surfaced sooner.
+        fire_at = min(hedge_after, latency)
+        hedge_budget = budget - fire_at
+        if hedge_budget <= 0:
+            return BackendOutcome(vectors, latency, reason)
+        secondary = self.replicas[self._rr % len(self.replicas)]
+        self.stats.hedges_sent += 1
+        h_vectors, h_latency, h_reason = secondary.serve_timed(
+            request.entity_id, budget=hedge_budget
+        )
+        hedge_total = fire_at + h_latency
+        primary_usable = reason is None
+        hedge_usable = h_reason is None
+        hedge_wins = (hedge_usable and not primary_usable) or (
+            hedge_usable and primary_usable and hedge_total < latency
+        )
+        self.stats.hedge_cancelled += 1  # exactly one loser per hedge pair
+        if hedge_wins:
+            self.stats.hedge_wins += 1
+            return BackendOutcome(
+                h_vectors, hedge_total, None, hedged=True, hedge_won=True
+            )
+        if primary_usable:
+            return BackendOutcome(vectors, latency, None, hedged=True)
+        # Both failed: report whichever concluded first, preferring a
+        # definitive backend error over a deadline cancellation.
+        if reason == "deadline" and h_reason == "deadline":
+            return BackendOutcome(None, budget, "deadline", hedged=True)
+        first_reason = reason if reason != "deadline" else h_reason
+        return BackendOutcome(
+            None, min(latency, hedge_total), first_reason, hedged=True
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded answers
+    # ------------------------------------------------------------------
+    def _fallback(self, entity_id: int) -> ServiceVectors:
+        return fallback_payload(entity_id, self.k, self.dim)
+
+    def _shed_response(
+        self, request: GatewayRequest, reason: str, now: float
+    ) -> GatewayResponse:
+        return GatewayResponse(
+            request_id=request.request_id,
+            entity_id=request.entity_id,
+            vectors=self._fallback(request.entity_id),
+            reason=reason,
+            latency=max(0.0, now - request.arrival),
+            completed_at=now,
+        )
+
+    def _degraded_response(
+        self,
+        request: GatewayRequest,
+        reason: str,
+        completed_at: float,
+        hedged: bool,
+        hedge_won: bool,
+    ) -> GatewayResponse:
+        return GatewayResponse(
+            request_id=request.request_id,
+            entity_id=request.entity_id,
+            vectors=self._fallback(request.entity_id),
+            reason=reason,
+            latency=completed_at - request.arrival,
+            completed_at=completed_at,
+            hedged=hedged,
+            hedge_won=hedge_won,
+        )
+
+
+def build_replicas(
+    server, count: int, cache_capacity: int = 512, seed: int = 0
+) -> List[TimedBackend]:
+    """``count`` timed replicas over one snapshot, each with its own LRU.
+
+    Every replica gets an independent :class:`CachedPKGMServer` (so a
+    swap refreshes per-replica caches) and an independently seeded
+    latency model — replicas straggle at different times, which is what
+    makes hedging win.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return [
+        TimedBackend(
+            CachedPKGMServer(server, capacity=cache_capacity),
+            latency=LatencyModel(seed=seed + index),
+            name=f"replica-{index}",
+        )
+        for index in range(count)
+    ]

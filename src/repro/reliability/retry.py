@@ -37,6 +37,11 @@ class CircuitOpenError(RuntimeError):
     """Raised when the breaker short-circuits a call without trying it."""
 
 
+class DeadlineExceededError(RuntimeError):
+    """Raised when a call's :class:`~repro.reliability.admission.Deadline`
+    budget runs out before (or between) attempts."""
+
+
 class StepClock:
     """Deterministic monotonic clock: advances only when told to.
 
@@ -97,12 +102,14 @@ class RetryStats:
     retries: int = 0
     failures: int = 0
     budget_denials: int = 0
+    deadline_denials: int = 0
     virtual_sleep: float = 0.0
 
     def as_row(self) -> str:
         return (
             f"retry calls {self.calls} | retries {self.retries} | "
             f"failures {self.failures} | budget-denials {self.budget_denials} | "
+            f"deadline-denials {self.deadline_denials} | "
             f"backoff {self.virtual_sleep:.2f}s"
         )
 
@@ -141,9 +148,27 @@ class Retrier:
 
     def call(self, fn: Callable, *args, **kwargs):
         """Run ``fn`` with retries; returns its value or raises."""
+        return self.call_with_deadline(None, fn, *args, **kwargs)
+
+    def call_with_deadline(self, deadline, fn: Callable, *args, **kwargs):
+        """Run ``fn`` with retries under an optional deadline budget.
+
+        ``deadline`` is a :class:`repro.reliability.admission.Deadline`
+        (or anything with ``expired()`` / ``remaining()``).  An expired
+        budget — on entry, or one the next backoff pause would blow —
+        raises :class:`DeadlineExceededError` instead of burning more
+        attempts: past the deadline the answer is useless, so retrying
+        only adds load to an already-struggling backend.
+        """
         self.stats.calls += 1
         last: Optional[BaseException] = None
         for attempt in range(self.policy.max_attempts):
+            if deadline is not None and deadline.expired():
+                self.stats.deadline_denials += 1
+                raise DeadlineExceededError(
+                    "deadline expired before attempt "
+                    f"{attempt + 1}/{self.policy.max_attempts}"
+                ) from last
             try:
                 return fn(*args, **kwargs)
             except self.retryable as exc:
@@ -156,6 +181,12 @@ class Retrier:
                         break
                     self._budget_left -= 1
                 pause = self.delay(attempt)
+                if deadline is not None and pause >= deadline.remaining():
+                    self.stats.deadline_denials += 1
+                    raise DeadlineExceededError(
+                        f"backoff of {pause:.3f}s would overrun the "
+                        f"remaining {deadline.remaining():.3f}s budget"
+                    ) from last
                 self.clock.advance(pause)
                 self.stats.virtual_sleep += pause
                 self.stats.retries += 1

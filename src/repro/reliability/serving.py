@@ -32,6 +32,7 @@ from ..core.service import ServiceVectors
 from .retry import (
     CircuitBreaker,
     CircuitOpenError,
+    DeadlineExceededError,
     Retrier,
     RetryExhaustedError,
     RetryPolicy,
@@ -40,6 +41,27 @@ from .retry import (
 )
 
 FALLBACK_MODES = ("zero", "mean")
+
+
+def fallback_payload(
+    entity_id: int, k: int, dim: int, vectors: Optional[np.ndarray] = None
+) -> ServiceVectors:
+    """A flagged, well-defined payload for an unanswerable request.
+
+    ``vectors`` is an optional (2, k, d) substitute (e.g. the catalog
+    mean); without one the payload is all-zeros.  Shared by the
+    resilient facade and the overload gateway so every degraded answer
+    in the stack has the same shape and flag semantics.
+    """
+    if vectors is None:
+        vectors = np.zeros((2, k, dim))
+    return ServiceVectors(
+        entity_id=int(entity_id),
+        key_relations=np.full(k, -1, dtype=np.int64),
+        triple_vectors=vectors[0].copy(),
+        relation_vectors=vectors[1].copy(),
+        degraded=True,
+    )
 
 
 @dataclass
@@ -51,11 +73,12 @@ class DegradationStats:
     served_stale: int = 0
     fallback_unknown: int = 0
     fallback_error: int = 0
+    deadline_exceeded: int = 0
     breaker_short_circuits: int = 0
 
     @property
     def degraded_rate(self) -> float:
-        degraded = self.fallback_unknown + self.fallback_error
+        degraded = self.fallback_unknown + self.fallback_error + self.deadline_exceeded
         return degraded / self.requests if self.requests else 0.0
 
     def as_row(self) -> str:
@@ -63,6 +86,7 @@ class DegradationStats:
             f"requests {self.requests} | live {self.served_live} | "
             f"stale {self.served_stale} | unknown-fallbacks "
             f"{self.fallback_unknown} | error-fallbacks {self.fallback_error} | "
+            f"deadline-exceeded {self.deadline_exceeded} | "
             f"short-circuits {self.breaker_short_circuits} | "
             f"degraded {self.degraded_rate:.2%}"
         )
@@ -161,35 +185,42 @@ class ResilientPKGMServer:
         vectors = None
         if self.fallback == "mean":
             vectors = self._mean_vectors()
-        if vectors is None:
-            vectors = np.zeros((2, self.k, self.dim))
-        return ServiceVectors(
-            entity_id=int(entity_id),
-            key_relations=np.full(self.k, -1, dtype=np.int64),
-            triple_vectors=vectors[0].copy(),
-            relation_vectors=vectors[1].copy(),
-            degraded=True,
-        )
+        return fallback_payload(entity_id, self.k, self.dim, vectors)
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def serve(self, entity_id: Union[int, np.integer]) -> ServiceVectors:
+    def serve(
+        self, entity_id: Union[int, np.integer], deadline=None
+    ) -> ServiceVectors:
         """Service vectors for one item.  Never raises.
 
         Resolution order: live backend (with retries, through the
         breaker) → stale cache entry → flagged fallback payload.
+
+        ``deadline`` is an optional
+        :class:`repro.reliability.admission.Deadline` on this facade's
+        clock; a backend slower than the remaining budget (including
+        backoff pauses that would overrun it) yields a flagged fallback
+        payload and increments ``stats.deadline_exceeded`` — exactly
+        once, and never an exception.
         """
         entity_id = int(entity_id)
         self.stats.requests += 1
         self.clock.advance(1.0)  # one virtual second per request tick
         try:
             vectors = self.breaker.call(
-                self._retrier.call, self._cached.serve, entity_id
+                self._retrier.call_with_deadline,
+                deadline,
+                self._cached.serve,
+                entity_id,
             )
         except CircuitOpenError:
             self.stats.breaker_short_circuits += 1
             return self._stale_or_fallback(entity_id, error=True)
+        except DeadlineExceededError:
+            self.stats.deadline_exceeded += 1
+            return self._fallback_payload(entity_id)
         except (RPCError, RetryExhaustedError):
             return self._stale_or_fallback(entity_id, error=True)
         except (KeyError, IndexError):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CachedPKGMServer
+from repro.reliability import fallback_payload
 
 
 @pytest.fixture
@@ -131,3 +132,56 @@ class TestCachedServing:
 
     def test_stats_row(self, cached):
         assert "hit-rate" in cached.stats().as_row()
+
+
+class FlipFlopBackend:
+    """Backend that serves flagged fallbacks until switched live."""
+
+    def __init__(self, server):
+        self._server = server
+        self.live = False
+
+    @property
+    def k(self):
+        return self._server.k
+
+    @property
+    def dim(self):
+        return self._server.dim
+
+    def serve(self, entity_id):
+        if not self.live:
+            return fallback_payload(entity_id, self.k, self.dim)
+        return self._server.serve(entity_id)
+
+
+class TestDegradedPayloadsNotCached:
+    def test_degraded_result_is_not_stored(self, server, catalog):
+        backend = FlipFlopBackend(server)
+        cached = CachedPKGMServer(backend, capacity=4)
+        entity = catalog.items[0].entity_id
+        first = cached.serve(entity)
+        assert first.degraded
+        assert cached.stats().size == 0  # outage artifact never sticks
+
+    def test_next_request_retries_live(self, server, catalog):
+        backend = FlipFlopBackend(server)
+        cached = CachedPKGMServer(backend, capacity=4)
+        entity = catalog.items[0].entity_id
+        cached.serve(entity)  # degraded, uncached
+        backend.live = True
+        second = cached.serve(entity)  # backend healed: a live miss
+        assert not second.degraded
+        assert cached.stats().misses == 2
+        assert cached.stats().size == 1
+        third = cached.serve(entity)  # the live payload is cached
+        assert not third.degraded
+        assert cached.stats().hits == 1
+
+    def test_live_payloads_still_cached(self, server, catalog):
+        cached = CachedPKGMServer(server, capacity=4)
+        entity = catalog.items[0].entity_id
+        cached.serve(entity)
+        cached.serve(entity)
+        assert cached.stats().hits == 1
+        assert cached.stats().size == 1

@@ -216,3 +216,70 @@ class TestDistributedTraining:
             DistributedConfig(staleness=-1)
         with pytest.raises(ValueError):
             DistributedConfig(epochs=0)
+
+
+class TestPullDeadlines:
+    @pytest.fixture
+    def store(self):
+        triples = []
+        for h in range(20):
+            for r in range(3):
+                triples.append((h, r, 20 + (h + 2 * r) % 8))
+        return TripleStore(triples)
+
+    def test_pull_budget_validation(self, server):
+        with pytest.raises(ValueError):
+            PKGMWorker(server, margin=1.0, pull_budget=0.0)
+        model = PKGM(28, 3, PKGMConfig(dim=4), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            DistributedPKGMTrainer(model, pull_budget=-1.0)
+
+    def test_blown_pull_deadline_raises_deadline_error(self, server):
+        from repro.reliability import (
+            DeadlineExceededError,
+            FaultPlan,
+            FaultyParameterServer,
+            Retrier,
+            RetryPolicy,
+        )
+
+        faulty = FaultyParameterServer(server, FaultPlan(seed=0, rpc_error_prob=1.0))
+        retrier = Retrier(RetryPolicy(base_delay=1.0, jitter=0.0, seed=0))
+        worker = PKGMWorker(faulty, margin=1.0, retrier=retrier, pull_budget=0.5)
+        positives = np.array([[0, 0, 5]])
+        negatives = np.array([[0, 0, 6]])
+        with pytest.raises(DeadlineExceededError):
+            worker.compute(positives, negatives)
+        assert retrier.stats.deadline_denials == 1
+        assert retrier.stats.virtual_sleep == 0.0  # refused to backoff
+
+    def test_generous_budget_leaves_training_unchanged(self, store):
+        from repro.reliability import RetryPolicy
+
+        def run(pull_budget):
+            model = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+            trainer = DistributedPKGMTrainer(
+                model,
+                DistributedConfig(num_shards=2, num_workers=2, epochs=3, batch_size=16),
+                retry=RetryPolicy(seed=0),
+                pull_budget=pull_budget,
+            )
+            return trainer.train(store)
+
+        assert run(None) == run(10**6)
+
+    def test_trainer_abandons_batches_on_blown_deadlines(self, store):
+        from repro.reliability import FaultPlan, RetryPolicy
+
+        model = PKGM(28, 3, PKGMConfig(dim=8), rng=np.random.default_rng(0))
+        trainer = DistributedPKGMTrainer(
+            model,
+            DistributedConfig(num_shards=2, num_workers=2, epochs=2, batch_size=16),
+            faults=FaultPlan(seed=0, rpc_error_prob=0.5),
+            retry=RetryPolicy(base_delay=1.0, jitter=0.0, seed=0),
+            pull_budget=0.5,
+        )
+        losses = trainer.train(store)  # must not raise
+        assert len(losses) == 2
+        assert trainer.abandoned_batches > 0
+        assert trainer.retry_stats.deadline_denials > 0

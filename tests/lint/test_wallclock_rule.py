@@ -1,0 +1,123 @@
+"""Tests for the wall-clock-in-reliability rule (R007)."""
+
+RULE = "wall-clock-in-reliability"
+RELIABILITY_PATH = "src/repro/reliability/gateway.py"
+
+
+class TestScope:
+    def test_flags_only_inside_reliability(self, lint_source):
+        source = """
+            import time
+
+            def pause():
+                time.sleep(1)
+        """
+        inside = lint_source(RULE, source, path=RELIABILITY_PATH)
+        outside = lint_source(RULE, source, path="src/repro/core/cache.py")
+        assert len(inside) == 1
+        assert outside == []
+
+    def test_scoped_paths_configurable(self, lint_source):
+        source = """
+            import time
+
+            def now():
+                return time.time()
+        """
+        violations = lint_source(
+            RULE,
+            source,
+            path="src/mysim/engine.py",
+            scoped_paths=("mysim/",),
+        )
+        assert len(violations) == 1
+
+
+class TestDetection:
+    def test_flags_sleep_time_monotonic(self, lint_source):
+        source = """
+            import time
+
+            def bad():
+                time.sleep(0.1)
+                a = time.time()
+                b = time.monotonic()
+                return a + b
+        """
+        violations = lint_source(RULE, source, path=RELIABILITY_PATH)
+        assert len(violations) == 3
+        assert all(v.rule == RULE for v in violations)
+        assert "StepClock" in violations[0].message
+
+    def test_flags_module_alias(self, lint_source):
+        source = """
+            import time as t
+
+            def bad():
+                t.sleep(1)
+        """
+        assert len(lint_source(RULE, source, path=RELIABILITY_PATH)) == 1
+
+    def test_flags_from_import_and_alias(self, lint_source):
+        source = """
+            from time import sleep, monotonic as mono
+
+            def bad():
+                sleep(1)
+                return mono()
+        """
+        assert len(lint_source(RULE, source, path=RELIABILITY_PATH)) == 2
+
+    def test_perf_counter_flagged(self, lint_source):
+        source = """
+            import time
+
+            def bad():
+                return time.perf_counter()
+        """
+        assert len(lint_source(RULE, source, path=RELIABILITY_PATH)) == 1
+
+
+class TestCleanCode:
+    def test_virtual_clock_is_fine(self, lint_source):
+        source = """
+            from repro.reliability.retry import StepClock
+
+            def good(clock: StepClock):
+                clock.advance(1.0)
+                return clock.now()
+        """
+        assert lint_source(RULE, source, path=RELIABILITY_PATH) == []
+
+    def test_non_clock_time_attrs_not_flagged(self, lint_source):
+        source = """
+            import time
+
+            def fine():
+                return time.strftime("%Y")
+        """
+        assert lint_source(RULE, source, path=RELIABILITY_PATH) == []
+
+    def test_unrelated_names_not_flagged(self, lint_source):
+        source = """
+            class Timer:
+                def sleep(self):
+                    return 0
+
+            def fine(t: Timer):
+                return t.sleep()
+        """
+        assert lint_source(RULE, source, path=RELIABILITY_PATH) == []
+
+    def test_shipped_reliability_package_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint import Linter
+        from repro.lint.registry import get_rule_class
+
+        linter = Linter(rules=[get_rule_class(RULE)()])
+        root = Path(__file__).resolve().parents[2] / "src/repro/reliability"
+        violations = []
+        for path in sorted(root.glob("*.py")):
+            violations.extend(linter.lint_file(path))
+        assert violations == []

@@ -5,6 +5,8 @@ import pytest
 from repro.reliability import (
     CircuitBreaker,
     CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
     Retrier,
     RetryExhaustedError,
     RetryPolicy,
@@ -168,3 +170,51 @@ class TestStepClock:
         assert clock.now() == 1.5
         with pytest.raises(ValueError):
             clock.advance(-1.0)
+
+
+class TestCallWithDeadline:
+    def make(self, budget, **policy):
+        clock = StepClock()
+        retrier = Retrier(RetryPolicy(jitter=0.0, **policy), clock=clock)
+        return retrier, Deadline(clock, budget), clock
+
+    def test_expired_on_entry_never_calls_fn(self):
+        retrier, deadline, clock = self.make(budget=0.5)
+        clock.advance(1.0)
+        flaky = Flaky(0)
+        with pytest.raises(DeadlineExceededError):
+            retrier.call_with_deadline(deadline, flaky)
+        assert flaky.calls == 0
+        assert retrier.stats.deadline_denials == 1
+
+    def test_backoff_overrunning_budget_refused(self):
+        # base_delay=0.05: the first backoff pause would blow a 0.01s
+        # budget, so the retrier gives up instead of sleeping past it.
+        retrier, deadline, _ = self.make(budget=0.01, base_delay=0.05)
+        flaky = Flaky(10)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            retrier.call_with_deadline(deadline, flaky)
+        assert flaky.calls == 1  # tried once, refused to backoff
+        assert isinstance(excinfo.value.__cause__, RPCError)
+        assert retrier.stats.deadline_denials == 1
+        assert retrier.stats.virtual_sleep == 0.0
+
+    def test_generous_deadline_retries_normally(self):
+        retrier, deadline, _ = self.make(budget=100.0)
+        flaky = Flaky(2)
+        assert retrier.call_with_deadline(deadline, flaky) == "ok"
+        assert retrier.stats.retries == 2
+        assert retrier.stats.deadline_denials == 0
+
+    def test_none_deadline_is_plain_call(self):
+        retrier, _, _ = self.make(budget=1.0)
+        assert retrier.call_with_deadline(None, Flaky(1)) == "ok"
+        assert retrier.stats.deadline_denials == 0
+
+    def test_denial_counted_once_per_call(self):
+        retrier, deadline, clock = self.make(budget=0.5)
+        clock.advance(1.0)
+        for _ in range(3):
+            with pytest.raises(DeadlineExceededError):
+                retrier.call_with_deadline(deadline, Flaky(0))
+        assert retrier.stats.deadline_denials == 3

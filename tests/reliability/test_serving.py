@@ -6,9 +6,11 @@ import pytest
 from repro.core import CachedPKGMServer
 from repro.reliability import (
     CircuitBreaker,
+    Deadline,
     FlakyServingBackend,
     ResilientPKGMServer,
     RetryPolicy,
+    StepClock,
 )
 
 
@@ -162,3 +164,41 @@ class TestBackendFailures:
         healthy = ResilientPKGMServer(server)
         value = healthy.relation_existence_score(server.known_items()[0], 0)
         assert np.isfinite(value)
+
+
+class TestDeadlines:
+    def test_expired_deadline_yields_flagged_fallback(self, server):
+        clock = StepClock()
+        resilient = ResilientPKGMServer(server, clock=clock)
+        deadline = Deadline(clock, 0.5)  # < the 1.0 per-request tick
+        result = resilient.serve(server.known_items()[0], deadline=deadline)
+        assert result.degraded
+        assert resilient.stats.deadline_exceeded == 1
+        assert resilient.stats.degraded_rate > 0.0
+        assert "deadline-exceeded 1" in resilient.stats.as_row()
+
+    def test_counter_increments_exactly_once_per_request(self, server):
+        clock = StepClock()
+        resilient = ResilientPKGMServer(server, clock=clock)
+        for _ in range(3):
+            resilient.serve(server.known_items()[0], deadline=Deadline(clock, 0.5))
+        assert resilient.stats.deadline_exceeded == 3
+        assert resilient.stats.requests == 3
+
+    def test_generous_deadline_serves_live(self, server):
+        clock = StepClock()
+        resilient = ResilientPKGMServer(server, clock=clock)
+        deadline = Deadline(clock, 10.0)
+        result = resilient.serve(server.known_items()[0], deadline=deadline)
+        assert not result.degraded
+        assert resilient.stats.deadline_exceeded == 0
+        assert resilient.stats.served_live == 1
+
+    def test_deadline_miss_does_not_trip_breaker(self, server):
+        clock = StepClock()
+        resilient = ResilientPKGMServer(
+            server, breaker=CircuitBreaker(failure_threshold=1, clock=clock),
+            clock=clock,
+        )
+        resilient.serve(server.known_items()[0], deadline=Deadline(clock, 0.5))
+        assert resilient.breaker.state == CircuitBreaker.CLOSED

@@ -83,3 +83,67 @@ class TestCommands:
         main(["stats", "--preset", "smoke", "--seed", "2"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestLoadtest:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.command == "loadtest"
+        assert args.profile == "spike"
+        assert args.requests == 2000
+        assert args.replicas == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--profile", "tsunami"])
+
+    def test_runs_and_reports(self, capsys):
+        assert main(["loadtest", "--preset", "smoke", "--requests", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "latency p50" in out
+        assert "gateway:" in out
+        assert "admission:" in out
+        assert "drains 2 | swaps 1" in out  # mid-run drain+swap ran
+
+    def test_byte_identical_output_across_runs(self, capsys):
+        argv = ["loadtest", "--preset", "smoke", "--requests", "300"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_load_seed_changes_output(self, capsys):
+        base = ["loadtest", "--preset", "smoke", "--requests", "300"]
+        main(base)
+        first = capsys.readouterr().out
+        main(base + ["--load-seed", "9"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_hedging_can_be_disabled(self, capsys):
+        argv = [
+            "loadtest",
+            "--preset",
+            "smoke",
+            "--requests",
+            "300",
+            "--hedge-after",
+            "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hedges 0 | hedge-wins 0" in out
+
+    def test_verbose_prints_replicas(self, capsys):
+        argv = [
+            "loadtest",
+            "--preset",
+            "smoke",
+            "--requests",
+            "200",
+            "--verbose",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "replica-0" in out
+        assert "replica-1" in out

@@ -22,6 +22,12 @@ echo "== chaos tests (REPRO_CHAOS_SEED=$REPRO_CHAOS_SEED) =="
 python -m pytest -x -q "tests/test_robustness.py::TestChaosTraining" tests/reliability
 
 echo
+echo "== overload smoke (repro loadtest) =="
+# A seeded 8x traffic spike through the serving gateway: must shed
+# instead of raising, and finish in well under a minute.
+python -m repro.cli loadtest --profile spike --requests 2000
+
+echo
 echo "== repro.lint =="
 LINT_FLAGS=()
 if [ "${REPRO_CHECK_STRICT:-0}" = "1" ]; then
