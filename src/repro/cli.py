@@ -13,6 +13,8 @@ writing Python:
     python -m repro.cli complete                   # §II-D completion demo
     python -m repro.cli chaos --crash-epoch 4      # fault-injected training
     python -m repro.cli loadtest --profile spike   # overload-serving drill
+    python -m repro.cli metrics --format prom      # telemetry snapshot export
+    python -m repro.cli trace --format chrome      # span/profile trace export
     python -m repro.cli lint src tests             # static-analysis gate
 
 Experiment commands accept ``--preset {smoke,default,bench}`` and
@@ -24,11 +26,11 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import Callable, Dict, Optional
+from typing import Optional
 
 import numpy as np
 
-from .config import ExperimentConfig, bench_config, default_config, smoke_config
+from .config import PRESETS, ExperimentConfig
 from .core import PKGM, pretrain_pkgm
 from .data import (
     build_alignment_dataset,
@@ -43,12 +45,6 @@ from .tasks import (
     ProductAlignmentTask,
     RecommendationTask,
 )
-
-PRESETS: Dict[str, Callable[[], ExperimentConfig]] = {
-    "smoke": smoke_config,
-    "default": default_config,
-    "bench": bench_config,
-}
 
 VARIANTS = ("base", "pkgm-t", "pkgm-r", "pkgm-all")
 
@@ -345,6 +341,55 @@ def cmd_complete(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the seeded serving workload and export its telemetry.
+
+    Stdout carries *only* the export (Prometheus text or JSON), so two
+    runs with the same seed are byte-identical — the check.sh obs gate
+    diffs exactly this.  ``--verbose`` adds the loadtest summary on
+    stderr.
+    """
+    from .obs import run_metrics_workload, to_json, to_prometheus
+
+    config = _load_config(args)
+    registry, report = run_metrics_workload(
+        seed=config.seed, requests=args.requests, preset=args.preset
+    )
+    if args.format == "json":
+        print(to_json(registry))
+    else:
+        print(to_prometheus(registry), end="")
+    if args.verbose:
+        for row in report.as_rows():
+            print(row, file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the seeded training workload and export spans + profile.
+
+    ``--format tree`` prints the span tree followed by the phase/op
+    profile; ``--format chrome`` prints Chrome ``trace_event`` JSON
+    (load it at ``chrome://tracing``).  Same seed, same bytes.
+    """
+    from .obs import profile_report, run_trace_workload
+
+    config = _load_config(args)
+    registry, tracer, profiler, history = run_trace_workload(
+        seed=config.seed, epochs=args.epochs, preset=args.preset
+    )
+    if args.format == "chrome":
+        print(tracer.export_chrome())
+    else:
+        print(tracer.render_tree())
+        print()
+        print(profile_report(profiler))
+    if args.verbose:
+        losses = ", ".join(f"{loss:.4f}" for loss in history.epoch_losses)
+        print(f"epoch losses: {losses}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -428,6 +473,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for arrivals, priorities and replica latency draws",
     )
+    met = sub.add_parser(
+        "metrics", help="seeded serving workload, metrics snapshot export"
+    )
+    common(met)
+    met.add_argument("--requests", type=int, default=400)
+    met.add_argument("--format", choices=("prom", "json"), default="prom")
+    tra = sub.add_parser(
+        "trace", help="seeded training run, span and profile export"
+    )
+    common(tra)
+    tra.add_argument("--epochs", type=int, default=2)
+    tra.add_argument("--format", choices=("tree", "chrome"), default="tree")
     lint = sub.add_parser(
         "lint",
         parents=[lint_cli.build_parser()],
@@ -447,6 +504,8 @@ COMMANDS = {
     "complete": cmd_complete,
     "chaos": cmd_chaos,
     "loadtest": cmd_loadtest,
+    "metrics": cmd_metrics,
+    "trace": cmd_trace,
     "lint": lint_cli.run_lint,
 }
 

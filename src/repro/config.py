@@ -142,3 +142,11 @@ def bench_config() -> ExperimentConfig:
         ),
         interactions=InteractionConfig(num_users=250),
     )
+
+
+#: Preset name → factory, shared by the CLI and the obs workloads.
+PRESETS = {
+    "smoke": smoke_config,
+    "default": default_config,
+    "bench": bench_config,
+}

@@ -6,6 +6,14 @@ skewed toward popular items.  :class:`CachedPKGMServer` wraps any
 server exposing the :class:`repro.core.PKGMServer` surface with a
 bounded LRU and hit-rate accounting, and invalidates wholesale on
 model refresh (:meth:`refresh`).
+
+Hit/miss/eviction accounting lives in a
+:class:`repro.obs.metrics.MetricsRegistry` (``cache.hits``,
+``cache.misses``, ``cache.evictions``, ``cache.refreshes``, plus
+``cache.size``/``cache.capacity`` gauges); the legacy surface —
+``hits``/``misses``/``evictions`` attributes, :meth:`reset_stats`,
+and the :class:`CacheStats` snapshot — is preserved as views over the
+registry, so existing callers and dashboards keep working.
 """
 
 from __future__ import annotations
@@ -48,17 +56,36 @@ class CachedPKGMServer:
     Only :meth:`serve` results are cached (they dominate production
     traffic); batch helpers reuse the same cache entry per item, so a
     warm cache accelerates them too.
+
+    ``registry`` is an optional shared
+    :class:`repro.obs.metrics.MetricsRegistry`; without one the cache
+    keeps a private registry so the accounting surface is identical
+    either way.
     """
 
-    def __init__(self, server: PKGMServer, capacity: int = 1024) -> None:
+    def __init__(self, server: PKGMServer, capacity: int = 1024, registry=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if registry is None:
+            # Local import: repro.obs is a leaf package, but this module
+            # is imported by repro.reliability (whose serving facade the
+            # obs workloads drive) — a top-level import would be a cycle.
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics = registry
         self._server = server
         self._capacity = capacity
         self._cache: "OrderedDict[int, ServiceVectors]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits_c = registry.counter("cache.hits", help="Cache hits")
+        self._misses_c = registry.counter("cache.misses", help="Cache misses")
+        self._evictions_c = registry.counter("cache.evictions", help="LRU evictions")
+        self._refreshes_c = registry.counter(
+            "cache.refreshes", help="Model-refresh invalidations"
+        )
+        self._size_g = registry.gauge("cache.size", help="Entries currently cached")
+        self._capacity_g = registry.gauge("cache.capacity", help="LRU capacity")
+        self._capacity_g.set(capacity)
 
     # ------------------------------------------------------------------
     # PKGMServer surface
@@ -83,10 +110,10 @@ class CachedPKGMServer:
         entity_id = int(entity_id)
         cached = self._cache.get(entity_id)
         if cached is not None:
-            self._hits += 1
+            self._hits_c.inc()
             self._cache.move_to_end(entity_id)
             return cached
-        self._misses += 1
+        self._misses_c.inc()
         vectors = self._server.serve(entity_id)
         if not vectors.degraded:
             # A degraded payload is an outage artifact, not model output:
@@ -95,7 +122,8 @@ class CachedPKGMServer:
             self._cache[entity_id] = vectors
             if len(self._cache) > self._capacity:
                 self._cache.popitem(last=False)
-                self._evictions += 1
+                self._evictions_c.inc()
+            self._size_g.set(len(self._cache))
         return vectors
 
     def serve_batch(self, entity_ids: Sequence[int]) -> List[ServiceVectors]:
@@ -120,6 +148,24 @@ class CachedPKGMServer:
         return self._server.known_items()
 
     # ------------------------------------------------------------------
+    # Accounting views (legacy attribute surface over the registry)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Cache hits since the last stats reset."""
+        return self._hits_c.value
+
+    @property
+    def misses(self) -> int:
+        """Cache misses since the last stats reset."""
+        return self._misses_c.value
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions since the last stats reset."""
+        return self._evictions_c.value
+
+    # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
     def peek(self, entity_id: int) -> Optional[ServiceVectors]:
@@ -136,24 +182,27 @@ class CachedPKGMServer:
 
         Counters describe the server generation they accumulated under,
         so they reset with it by default; pass ``reset_stats=False`` to
-        keep lifetime totals across refreshes.
+        keep lifetime totals across refreshes.  ``cache.refreshes`` is a
+        lifetime counter and survives either way.
         """
         self._server = server
         self._cache.clear()
+        self._size_g.set(0)
+        self._refreshes_c.inc()
         if reset_stats:
             self.reset_stats()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits_c.reset()
+        self._misses_c.reset()
+        self._evictions_c.reset()
 
     def stats(self) -> CacheStats:
         return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
+            hits=self._hits_c.value,
+            misses=self._misses_c.value,
+            evictions=self._evictions_c.value,
             size=len(self._cache),
             capacity=self._capacity,
         )

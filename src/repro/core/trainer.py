@@ -9,6 +9,7 @@ Adam — as a single-process loop sized for the synthetic KG.
 
 from __future__ import annotations
 
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -82,6 +83,9 @@ class PKGMTrainer:
         checkpoint_dir=None,
         checkpoint_every: int = 1,
         resume: bool = True,
+        registry=None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -95,6 +99,49 @@ class PKGMTrainer:
             self._manager = CheckpointManager(checkpoint_dir)
         self.checkpoint_every = checkpoint_every
         self.resume = resume
+        # Observability wiring (repro.obs) — all optional, all no-ops
+        # when absent.  The tracer and profiler share one virtual
+        # timeline so span durations and phase steps line up.
+        self.metrics = registry
+        self.tracer = tracer
+        self.profiler = profiler
+        if profiler is not None and tracer is not None:
+            profiler.clock = tracer.clock
+        self._obs_clock = (
+            tracer.clock
+            if tracer is not None
+            else profiler.clock if profiler is not None else None
+        )
+        self._loss_g = self._epochs_c = None
+        self._batches_c = self._examples_c = self._violations_c = None
+        if registry is not None:
+            self._loss_g = registry.gauge(
+                "train.epoch_loss", help="Mean margin loss of the last epoch"
+            )
+            self._epochs_c = registry.counter("train.epochs", help="Epochs run")
+            self._batches_c = registry.counter("train.batches", help="Batches run")
+            self._examples_c = registry.counter(
+                "train.examples", help="Positive edges consumed"
+            )
+            self._violations_c = registry.counter(
+                "train.violating_batches",
+                help="Batches with at least one active margin violation",
+            )
+
+    @contextmanager
+    def _phase(self, name: str, units: int = 0):
+        """Profiler phase + one virtual step, when observability is on."""
+        cm = (
+            self.profiler.phase(name, units=units)
+            if self.profiler is not None
+            else nullcontext()
+        )
+        with cm:
+            try:
+                yield
+            finally:
+                if self._obs_clock is not None:
+                    self._obs_clock.advance(1.0)
 
     def train(
         self,
@@ -110,7 +157,10 @@ class PKGMTrainer:
         the duration of the run when ``config.numeric_guard`` is set or
         the ``REPRO_NUMERIC_GUARD`` environment flag is exported.
         """
-        with sanitizer.guard(self.config.numeric_guard or sanitizer.env_enabled()):
+        profiler_cm = self.profiler if self.profiler is not None else nullcontext()
+        with sanitizer.guard(
+            self.config.numeric_guard or sanitizer.env_enabled()
+        ), profiler_cm:
             return self._train(store, progress)
 
     def _train(
@@ -139,22 +189,51 @@ class PKGMTrainer:
         for epoch in range(start_epoch, self.config.epochs):
             epoch_loss = 0.0
             count = 0
-            for batch in sampler.epoch():
-                self.optimizer.zero_grad()
-                loss = self.model.margin_loss(batch.positives, batch.negatives)
-                if not np.isfinite(loss.item()):
-                    raise FloatingPointError(
-                        "non-finite margin loss during pre-training; "
-                        "lower the learning rate or check the input KG"
-                    )
-                loss.backward()
-                self.optimizer.step()
-                if self.config.entity_max_norm is not None:
-                    self.model.renormalize_entities(self.config.entity_max_norm)
-                epoch_loss += loss.item()
-                count += len(batch)
+            span_cm = (
+                self.tracer.span("train.epoch", epoch=epoch)
+                if self.tracer is not None
+                else nullcontext()
+            )
+            with span_cm:
+                batches = iter(sampler.epoch())
+                while True:
+                    with self._phase("negative_sampling"):
+                        batch = next(batches, None)
+                    if batch is None:
+                        break
+                    with self._phase("forward", units=len(batch)):
+                        self.optimizer.zero_grad()
+                        loss = self.model.margin_loss(
+                            batch.positives, batch.negatives
+                        )
+                    if not np.isfinite(loss.item()):
+                        raise FloatingPointError(
+                            "non-finite margin loss during pre-training; "
+                            "lower the learning rate or check the input KG"
+                        )
+                    with self._phase("backward"):
+                        loss.backward()
+                    with self._phase("optimizer"):
+                        self.optimizer.step()
+                        if self.config.entity_max_norm is not None:
+                            self.model.renormalize_entities(
+                                self.config.entity_max_norm
+                            )
+                    epoch_loss += loss.item()
+                    count += len(batch)
+                    if self._batches_c is not None:
+                        self._batches_c.inc()
+                        self._examples_c.inc(len(batch))
+                        if loss.item() > 0.0:
+                            # The margin ranking loss is a sum of hinge
+                            # terms: positive loss ⇔ at least one pair
+                            # still violates the margin.
+                            self._violations_c.inc()
             mean_loss = epoch_loss / max(count, 1)
             history.epoch_losses.append(mean_loss)
+            if self._loss_g is not None:
+                self._loss_g.set(mean_loss)
+                self._epochs_c.inc()
             if progress is not None:
                 progress(epoch, mean_loss)
             completed = epoch + 1

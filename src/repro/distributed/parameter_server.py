@@ -24,6 +24,7 @@ quality as the reference single-process trainer?  (Bench:
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -32,6 +33,7 @@ import numpy as np
 from ..core import PKGM
 from ..nn import no_grad
 from ..kg import EdgeSampler, TripleStore
+from ..obs.metrics import MetricsRegistry, counter_view
 
 
 class ParameterServer:
@@ -43,17 +45,27 @@ class ParameterServer:
     updates to the touched rows only, like sparse updates in TF's PS.
     """
 
+    #: Legacy counter attributes, now views over the metrics registry.
+    #: Reads and writes (tests zero them with ``server.pull_count = 0``)
+    #: hit the same ``ps.pulls`` / ``ps.pushes`` instruments snapshots see.
+    pull_count = counter_view("ps.pulls", help="Pull RPCs (one per shard touched)")
+    push_count = counter_view("ps.pushes", help="Push RPCs (one per shard touched)")
+
     def __init__(
         self,
         num_shards: int,
         learning_rate: float = 1e-2,
         betas: Tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
+        registry=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if registry is None:
+            registry = MetricsRegistry()
+        self.metrics = registry
         self.num_shards = num_shards
         self.learning_rate = learning_rate
         self.beta1, self.beta2 = betas
@@ -64,6 +76,36 @@ class ParameterServer:
         self._step: Dict[str, np.ndarray] = {}
         self.pull_count = 0
         self.push_count = 0
+        self._pull_rows_c = registry.counter(
+            "ps.pull.rows", help="Parameter rows pulled"
+        )
+        self._push_rows_c = registry.counter(
+            "ps.push.rows", help="Parameter rows pushed"
+        )
+        self._shard_pulls = [
+            registry.counter(
+                "ps.pull.shard_rpcs",
+                help="Pull RPCs answered by a shard",
+                labels={"shard": shard},
+            )
+            for shard in range(num_shards)
+        ]
+        self._shard_pushes = [
+            registry.counter(
+                "ps.push.shard_rpcs",
+                help="Push RPCs applied by a shard",
+                labels={"shard": shard},
+            )
+            for shard in range(num_shards)
+        ]
+        self._shard_rows = [
+            registry.gauge(
+                "ps.shard.rows",
+                help="Parameter rows resident on a shard",
+                labels={"shard": shard},
+            )
+            for shard in range(num_shards)
+        ]
 
     def register(self, name: str, table: np.ndarray) -> None:
         """Install a parameter table (copied — the server owns it)."""
@@ -73,6 +115,8 @@ class ParameterServer:
         self._m[name] = np.zeros_like(self._tables[name])
         self._v[name] = np.zeros_like(self._tables[name])
         self._step[name] = np.zeros(len(table), dtype=np.int64)
+        for shard, rows in enumerate(self.shard_sizes(name)):
+            self._shard_rows[shard].add(rows)
 
     def shard_of(self, row: int) -> int:
         """The shard a row lives on (round-robin by id)."""
@@ -86,7 +130,11 @@ class ParameterServer:
     def pull(self, name: str, rows: np.ndarray) -> np.ndarray:
         """Fetch rows (copy) — one logical RPC per distinct shard."""
         rows = np.asarray(rows, dtype=np.int64)
-        self.pull_count += len(set(self.shard_of(int(r)) for r in np.unique(rows)))
+        shards = sorted(set(self.shard_of(int(r)) for r in np.unique(rows)))
+        self.pull_count += len(shards)
+        for shard in shards:
+            self._shard_pulls[shard].inc()
+        self._pull_rows_c.inc(len(rows))
         return self._tables[name][rows].copy()
 
     def push(self, name: str, rows: np.ndarray, gradients: np.ndarray) -> None:
@@ -103,7 +151,11 @@ class ParameterServer:
         accumulated = np.zeros((len(unique), *gradients.shape[1:]))
         np.add.at(accumulated, inverse, gradients)
 
-        self.push_count += len(set(self.shard_of(int(r)) for r in unique))
+        shards = sorted(set(self.shard_of(int(r)) for r in unique))
+        self.push_count += len(shards)
+        for shard in shards:
+            self._shard_pushes[shard].inc()
+        self._push_rows_c.inc(len(unique))
         table = self._tables[name]
         m, v, step = self._m[name], self._v[name], self._step[name]
         step[unique] += 1
@@ -337,6 +389,18 @@ class DistributedPKGMTrainer:
       directory resumes a killed run bit-exactly.
     """
 
+    #: Reliability accounting, registry-backed with the legacy attribute
+    #: names preserved as read/write views.
+    abandoned_batches = counter_view(
+        "dist.abandoned_batches", help="Batches lost to exhausted pulls"
+    )
+    abandoned_pushes = counter_view(
+        "dist.abandoned_pushes", help="Pushes lost to exhausted retries"
+    )
+    recoveries = counter_view(
+        "dist.recoveries", help="Checkpoint restores after shard crashes"
+    )
+
     def __init__(
         self,
         model: PKGM,
@@ -347,14 +411,25 @@ class DistributedPKGMTrainer:
         checkpoint_every: int = 1,
         resume: bool = True,
         pull_budget: Optional[float] = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.model = model
         self.config = config if config is not None else DistributedConfig()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._epoch_loss_g = self.metrics.gauge(
+            "dist.epoch_loss", help="Mean margin loss of the last epoch"
+        )
+        self._epochs_c = self.metrics.counter(
+            "dist.epochs", help="Epochs completed (including replays)"
+        )
         self.server = ParameterServer(
             num_shards=self.config.num_shards,
             learning_rate=self.config.learning_rate,
+            registry=self.metrics,
         )
         self.fault_plan = faults
         if faults is not None:
@@ -433,35 +508,52 @@ class DistributedPKGMTrainer:
         while epoch < self.config.epochs:
             epoch_loss, count = 0.0, 0
             recovered_mid_epoch = False
-            for batch_index, batch in enumerate(sampler.epoch()):
-                event = self._pop_crash(crashes, epoch, batch_index)
-                if event is not None:
-                    self.server.crash_shard(event.shard)
-                    pending.clear()  # in-flight packets died with the shard
-                    if self._manager is not None and self._manager.latest() is not None:
-                        epoch, losses = self._restore(rng)
-                        self.recoveries += 1
-                        recovered_mid_epoch = True
-                        break
-                    # No checkpoint: keep training on the damaged state.
-                worker = self.workers[batch_index % len(self.workers)]
-                try:
-                    packet = worker.compute(batch.positives, batch.negatives[0])
-                except (RetryExhaustedError, DeadlineExceededError):
-                    # Exhausted retries or a blown pull deadline: the
-                    # batch is abandoned either way (a worker timeout).
-                    self.abandoned_batches += 1
-                    continue
-                pending.append(packet)
-                epoch_loss += packet.loss
-                count += len(batch)
-                if len(pending) > self.config.staleness:
-                    self._apply(pending.popleft())
+            span_cm = (
+                self.tracer.span("dist.epoch", epoch=epoch)
+                if self.tracer is not None
+                else nullcontext()
+            )
+            with span_cm:
+                for batch_index, batch in enumerate(sampler.epoch()):
+                    if self.tracer is not None:
+                        self.tracer.clock.advance(1.0)
+                    event = self._pop_crash(crashes, epoch, batch_index)
+                    if event is not None:
+                        self.server.crash_shard(event.shard)
+                        pending.clear()  # in-flight packets died with the shard
+                        if self.tracer is not None:
+                            self.tracer.event(f"crash shard={event.shard}")
+                        if (
+                            self._manager is not None
+                            and self._manager.latest() is not None
+                        ):
+                            epoch, losses = self._restore(rng)
+                            self.recoveries += 1
+                            recovered_mid_epoch = True
+                            if self.tracer is not None:
+                                self.tracer.event(f"restored epoch={epoch}")
+                            break
+                        # No checkpoint: keep training on the damaged state.
+                    worker = self.workers[batch_index % len(self.workers)]
+                    try:
+                        packet = worker.compute(batch.positives, batch.negatives[0])
+                    except (RetryExhaustedError, DeadlineExceededError):
+                        # Exhausted retries or a blown pull deadline: the
+                        # batch is abandoned either way (a worker timeout).
+                        self.abandoned_batches += 1
+                        continue
+                    pending.append(packet)
+                    epoch_loss += packet.loss
+                    count += len(batch)
+                    if len(pending) > self.config.staleness:
+                        self._apply(pending.popleft())
             if recovered_mid_epoch:
                 continue
             while pending:
                 self._apply(pending.popleft())
             losses.append(epoch_loss / max(count, 1))
+            self._epoch_loss_g.set(losses[-1])
+            self._epochs_c.inc()
             epoch += 1
             if self._manager is not None and (
                 epoch % self.checkpoint_every == 0 or epoch == self.config.epochs

@@ -9,6 +9,7 @@ from . import (  # noqa: F401
     defaults,
     exceptions,
     exports,
+    prints,
     randomness,
     tensors,
     wallclock,

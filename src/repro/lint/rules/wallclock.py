@@ -1,12 +1,15 @@
 """``wall-clock-in-reliability``: real-time calls in the virtual-clock stack.
 
-Everything under :mod:`repro.reliability` runs on a virtual
+Everything under :mod:`repro.reliability` — and, since the telemetry
+layer landed, :mod:`repro.obs` — runs on a virtual
 :class:`~repro.reliability.retry.StepClock` so that retries, circuit
-breakers, deadlines, hedges and load tests are deterministic and
-replayable.  A single ``time.sleep()`` or ``time.time()`` in that stack
-reintroduces wall-clock nondeterminism: tests get slow and flaky, and
-two runs of the same seeded load test stop producing byte-identical
-reports.  This rule flags, inside the scoped paths only:
+breakers, deadlines, hedges, load tests, span durations and profiler
+step counts are deterministic and replayable.  A single
+``time.sleep()`` or ``time.time()`` in that stack reintroduces
+wall-clock nondeterminism: tests get slow and flaky, and two runs of
+the same seeded load test (or telemetry export) stop producing
+byte-identical reports.  This rule flags, inside the scoped paths
+only:
 
 * calls through the ``time`` module (``time.sleep(...)``,
   ``import time as t; t.monotonic()``);
@@ -14,7 +17,7 @@ reports.  This rule flags, inside the scoped paths only:
 
 Reading the virtual clock (``clock.now()``) is the sanctioned
 alternative; code that genuinely needs wall time (none today) belongs
-outside ``src/repro/reliability/``.
+outside ``src/repro/reliability/`` and ``src/repro/obs/``.
 """
 
 from __future__ import annotations
@@ -54,7 +57,10 @@ class WallClockInReliabilityRule(Rule):
         super().__init__()
         #: Path fragments (matched against the display path with forward
         #: slashes) that put a module inside the virtual-clock stack.
-        self.scoped_paths: Tuple[str, ...] = ("repro/reliability/",)
+        self.scoped_paths: Tuple[str, ...] = (
+            "repro/reliability/",
+            "repro/obs/",
+        )
         #: ``time``-module attribute names treated as wall-clock reads.
         self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))
 

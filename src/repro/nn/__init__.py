@@ -27,9 +27,11 @@ from .tensor import (
     Tensor,
     concat,
     ensure_tensor,
+    get_op_hook,
     is_grad_enabled,
     no_grad,
     ones,
+    set_op_hook,
     stack,
     where,
     zeros,
@@ -64,12 +66,14 @@ __all__ = [
     "concat",
     "ensure_tensor",
     "functional",
+    "get_op_hook",
     "init",
     "is_grad_enabled",
     "no_grad",
     "numeric_gradient",
     "ones",
     "sanitizer",
+    "set_op_hook",
     "stack",
     "where",
     "zeros",

@@ -31,6 +31,23 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 #: :meth:`Tensor._make` stops recording the graph entirely.
 _GRAD_ENABLED = True
 
+#: Optional op-dispatch observer, sharing the sanitizer's interception
+#: point in :meth:`Tensor._make`.  ``repro.obs.profile`` installs a
+#: callable ``hook(op, data)`` here to count ops per training phase;
+#: ``None`` (the default) keeps the hot path branch-predictable.
+_OP_HOOK: Optional[Callable[[str, np.ndarray], None]] = None
+
+
+def set_op_hook(hook: Optional[Callable[[str, np.ndarray], None]]) -> None:
+    """Install (or with ``None`` remove) the global op-dispatch hook."""
+    global _OP_HOOK
+    _OP_HOOK = hook
+
+
+def get_op_hook() -> Optional[Callable[[str, np.ndarray], None]]:
+    """Return the currently installed op-dispatch hook, if any."""
+    return _OP_HOOK
+
 
 class no_grad:
     """Context manager (and decorator) that disables graph recording.
@@ -188,6 +205,8 @@ class Tensor:
     ) -> "Tensor":
         if _sanitizer.ENABLED:
             _sanitizer.check_op(op, data, [p.data for p in parents])
+        if _OP_HOOK is not None:
+            _OP_HOOK(op, data)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)

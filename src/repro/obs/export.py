@@ -1,0 +1,166 @@
+"""Exporters and seeded telemetry workloads.
+
+Turns a :class:`~repro.obs.metrics.MetricsRegistry` snapshot into the
+two formats operators actually consume — Prometheus text exposition
+(:func:`to_prometheus`) and canonical JSON (:func:`to_json`) — and
+provides the seeded workloads behind the ``repro metrics`` / ``repro
+trace`` CLI subcommands.  Both exporters are deterministic: sorted
+series, fixed float formatting, no timestamps.  The check.sh obs gate
+runs each workload twice and byte-diffs the output.
+
+The workload builders import the serving and training stacks lazily:
+:mod:`repro.obs` is a leaf package that those stacks import for their
+own instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .metrics import MetricsRegistry, _format_value
+
+__all__ = [
+    "run_metrics_workload",
+    "run_trace_workload",
+    "to_json",
+    "to_prometheus",
+]
+
+
+def _prometheus_key(key: str) -> str:
+    """Sanitize a snapshot key: dots become underscores in the name
+    part only (label values are preserved verbatim)."""
+    if "{" in key:
+        name, rest = key.split("{", 1)
+        return name.replace(".", "_") + "{" + rest
+    return key.replace(".", "_")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every registered instrument.
+
+    Instruments sharing a name (labeled variants) form one family with
+    a single ``# HELP`` / ``# TYPE`` header.  Output is sorted and
+    deterministic — two same-seed runs export identical bytes.
+    """
+    families: Dict[str, List] = {}
+    for instrument in registry.instruments():
+        families.setdefault(instrument.name, []).append(instrument)
+    lines: List[str] = []
+    for name in sorted(families):
+        instruments = families[name]
+        prom_name = name.replace(".", "_")
+        help_text = next((i.help for i in instruments if i.help), "")
+        if help_text:
+            lines.append(f"# HELP {prom_name} {help_text}")
+        lines.append(f"# TYPE {prom_name} {instruments[0].kind}")
+        for instrument in instruments:
+            for key, value in instrument.items():
+                lines.append(f"{_prometheus_key(key)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry) -> str:
+    """Canonical JSON (sorted keys, 2-space indent) of the snapshot."""
+    return json.dumps(registry.snapshot(), sort_keys=True, indent=2)
+
+
+def run_metrics_workload(
+    seed: int = 0, requests: int = 400, preset: str = "smoke"
+) -> Tuple[MetricsRegistry, object]:
+    """A seeded overload drill with every serving layer instrumented.
+
+    Builds an untrained PKGM server at the preset's catalog scale
+    (serving mechanics do not depend on trained weights), fronts it
+    with two registry-instrumented replicas behind the admission
+    controller, and replays the spike profile with a mid-run
+    drain+swap.  Returns ``(registry, loadtest_report)``; with the same
+    seed the registry snapshot is byte-identical across runs.
+    """
+    import numpy as np
+
+    from ..config import PRESETS
+    from ..core import PKGM, KeyRelationSelector, PKGMServer
+    from ..data import generate_catalog
+    from ..reliability import (
+        AdmissionConfig,
+        GatewayConfig,
+        LoadTestConfig,
+        PKGMGateway,
+        build_replicas,
+        run_loadtest,
+    )
+
+    config = PRESETS[preset]()
+    catalog = generate_catalog(config.catalog)
+    item_to_category = {item.entity_id: item.category_id for item in catalog.items}
+    selector = KeyRelationSelector(
+        catalog.store, item_to_category, k=config.key_relations
+    )
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        config.pkgm,
+        rng=np.random.default_rng(seed),
+    )
+    server = PKGMServer(model, selector)
+    registry = MetricsRegistry()
+    gateway = PKGMGateway(
+        build_replicas(server, 2, seed=seed, registry=registry),
+        GatewayConfig(
+            deadline_budget=0.25,
+            hedge_after=0.05,
+            admission=AdmissionConfig(rate=300.0, burst=64.0, queue_capacity=64),
+        ),
+        seed=seed,
+        registry=registry,
+    )
+    report = run_loadtest(
+        gateway,
+        server.known_items(),
+        LoadTestConfig(
+            profile="spike", requests=requests, seed=seed, drain_at=0.5
+        ),
+    )
+    return registry, report
+
+
+def run_trace_workload(seed: int = 0, epochs: int = 2, preset: str = "smoke"):
+    """A seeded pre-training run with spans, phases, and op counts.
+
+    Trains PKGM on the preset's synthetic catalog for ``epochs`` epochs
+    with the registry, tracer, and profiler all attached.  Returns
+    ``(registry, tracer, profiler, history)``; with the same seed the
+    trace export and profile report are byte-identical across runs.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from ..config import PRESETS
+    from ..core import PKGM, PKGMTrainer
+    from ..data import generate_catalog
+    from .profile import Profiler
+    from .trace import Tracer
+
+    config = PRESETS[preset]()
+    catalog = generate_catalog(config.catalog)
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        config.pkgm,
+        rng=np.random.default_rng(seed),
+    )
+    registry = MetricsRegistry()
+    tracer = Tracer(seed=seed)
+    profiler = Profiler(clock=tracer.clock)
+    trainer = PKGMTrainer(
+        model,
+        dataclasses.replace(config.pkgm_trainer, epochs=epochs, seed=seed),
+        registry=registry,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    history = trainer.train(catalog.store)
+    return registry, tracer, profiler, history

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Generic, List, Optional, Tuple, TypeVar
 
+from ..obs.metrics import MetricsRegistry, counter_view
 from .retry import StepClock
 
 T = TypeVar("T")
@@ -261,18 +262,53 @@ class AdmissionDecision(Generic[T]):
     evicted: Optional[T] = None
 
 
-@dataclass
 class AdmissionStats:
-    """Accounting for one :class:`AdmissionController`."""
+    """Accounting for one :class:`AdmissionController`.
 
-    arrived: int = 0
-    started: int = 0
-    queued: int = 0
-    shed_rate_limited: int = 0
-    shed_queue_full: int = 0
-    evicted: int = 0
-    completed_ok: int = 0
-    completed_overload: int = 0
+    Counters are registry-backed (``admission.*``) with the original
+    attribute names kept as read/write views — both the controller's
+    ``stats.arrived += 1`` increments and registry snapshots observe
+    the same instruments.
+    """
+
+    arrived = counter_view("admission.arrived", help="Requests offered")
+    started = counter_view("admission.started", help="Requests started")
+    queued = counter_view("admission.queued", help="Requests queued")
+    shed_rate_limited = counter_view(
+        "admission.shed_rate_limited", help="Token-bucket sheds"
+    )
+    shed_queue_full = counter_view(
+        "admission.shed_queue_full", help="Queue-overflow sheds"
+    )
+    evicted = counter_view("admission.evicted", help="Queue evictions")
+    completed_ok = counter_view(
+        "admission.completed_ok", help="Healthy completions"
+    )
+    completed_overload = counter_view(
+        "admission.completed_overload", help="Overloaded completions"
+    )
+
+    def __init__(
+        self,
+        arrived: int = 0,
+        started: int = 0,
+        queued: int = 0,
+        shed_rate_limited: int = 0,
+        shed_queue_full: int = 0,
+        evicted: int = 0,
+        completed_ok: int = 0,
+        completed_overload: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.arrived = arrived
+        self.started = started
+        self.queued = queued
+        self.shed_rate_limited = shed_rate_limited
+        self.shed_queue_full = shed_queue_full
+        self.evicted = evicted
+        self.completed_ok = completed_ok
+        self.completed_overload = completed_overload
 
     @property
     def shed(self) -> int:
@@ -324,9 +360,11 @@ class AdmissionController(Generic[T]):
         self,
         config: Optional[AdmissionConfig] = None,
         clock: Optional[StepClock] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else AdmissionConfig()
         self.clock = clock if clock is not None else StepClock()
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self.bucket = TokenBucket(
             rate=self.config.rate, burst=self.config.burst, clock=self.clock
         )
@@ -341,7 +379,14 @@ class AdmissionController(Generic[T]):
             self.config.queue_capacity
         )
         self.inflight = 0
-        self.stats = AdmissionStats()
+        self.stats = AdmissionStats(registry=self.metrics)
+        self._inflight_g = self.metrics.gauge(
+            "admission.inflight", help="Occupied concurrency slots"
+        )
+        self._limit_g = self.metrics.gauge(
+            "admission.limit", help="Current AIMD concurrency limit"
+        )
+        self._limit_g.set(self.limiter.limit)
 
     def has_slot(self) -> bool:
         """Whether a request could start right now (slot free, no queue)."""
@@ -355,6 +400,7 @@ class AdmissionController(Generic[T]):
             return AdmissionDecision(AdmissionAction.SHED_RATE)
         if self.has_slot():
             self.inflight += 1
+            self._inflight_g.set(self.inflight)
             self.stats.started += 1
             return AdmissionDecision(AdmissionAction.START)
         shed = self.queue.push(item, priority)
@@ -372,12 +418,14 @@ class AdmissionController(Generic[T]):
         if self.inflight <= 0:
             raise RuntimeError("release() without a matching started request")
         self.inflight -= 1
+        self._inflight_g.set(self.inflight)
         if overloaded:
             self.stats.completed_overload += 1
             self.limiter.on_overload()
         else:
             self.stats.completed_ok += 1
             self.limiter.on_success()
+        self._limit_g.set(self.limiter.limit)
 
     def next_ready(self) -> Optional[T]:
         """Pop the next queued item into a free slot, if any."""
@@ -386,5 +434,6 @@ class AdmissionController(Generic[T]):
         item = self.queue.pop()
         if item is not None:
             self.inflight += 1
+            self._inflight_g.set(self.inflight)
             self.stats.started += 1
         return item

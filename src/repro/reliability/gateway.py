@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.cache import CachedPKGMServer
 from ..core.service import ServiceVectors
+from ..obs.metrics import MetricsRegistry, counter_view
 from .admission import AdmissionConfig, AdmissionController, AdmissionAction, Deadline
 from .retry import RPCError, StepClock
 from .serving import fallback_payload
@@ -212,25 +213,79 @@ class GatewayResponse:
         return not self.vectors.degraded
 
 
-@dataclass
 class GatewayStats:
-    """End-to-end accounting for one gateway."""
+    """End-to-end accounting for one gateway.
 
-    arrived: int = 0
-    completed_ok: int = 0
-    completed_degraded: int = 0
-    shed_rate_limited: int = 0
-    shed_queue_full: int = 0
-    shed_evicted: int = 0
-    shed_draining: int = 0
-    deadline_queue_misses: int = 0
-    deadline_backend_misses: int = 0
-    backend_errors: int = 0
-    hedges_sent: int = 0
-    hedge_wins: int = 0
-    hedge_cancelled: int = 0
-    drains: int = 0
-    swaps: int = 0
+    Counters are registry-backed (``gateway.*``) with the original
+    attribute names kept as read/write views, so the gateway's
+    increments and registry snapshots observe the same instruments.
+    """
+
+    arrived = counter_view("gateway.arrived", help="Requests submitted")
+    completed_ok = counter_view("gateway.completed_ok", help="Real answers")
+    completed_degraded = counter_view(
+        "gateway.completed_degraded", help="Degraded answers"
+    )
+    shed_rate_limited = counter_view(
+        "gateway.shed_rate_limited", help="Token-bucket sheds"
+    )
+    shed_queue_full = counter_view(
+        "gateway.shed_queue_full", help="Queue-overflow sheds"
+    )
+    shed_evicted = counter_view("gateway.shed_evicted", help="Queue evictions")
+    shed_draining = counter_view(
+        "gateway.shed_draining", help="Sheds while draining"
+    )
+    deadline_queue_misses = counter_view(
+        "gateway.deadline_queue_misses", help="Deadlines blown in queue"
+    )
+    deadline_backend_misses = counter_view(
+        "gateway.deadline_backend_misses", help="Deadlines blown in backend"
+    )
+    backend_errors = counter_view("gateway.backend_errors", help="Backend failures")
+    hedges_sent = counter_view("gateway.hedges_sent", help="Hedge requests fired")
+    hedge_wins = counter_view("gateway.hedge_wins", help="Hedges that won")
+    hedge_cancelled = counter_view(
+        "gateway.hedge_cancelled", help="Hedge losers cancelled"
+    )
+    drains = counter_view("gateway.drains", help="Drain cycles")
+    swaps = counter_view("gateway.swaps", help="Snapshot swaps")
+
+    def __init__(
+        self,
+        arrived: int = 0,
+        completed_ok: int = 0,
+        completed_degraded: int = 0,
+        shed_rate_limited: int = 0,
+        shed_queue_full: int = 0,
+        shed_evicted: int = 0,
+        shed_draining: int = 0,
+        deadline_queue_misses: int = 0,
+        deadline_backend_misses: int = 0,
+        backend_errors: int = 0,
+        hedges_sent: int = 0,
+        hedge_wins: int = 0,
+        hedge_cancelled: int = 0,
+        drains: int = 0,
+        swaps: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.arrived = arrived
+        self.completed_ok = completed_ok
+        self.completed_degraded = completed_degraded
+        self.shed_rate_limited = shed_rate_limited
+        self.shed_queue_full = shed_queue_full
+        self.shed_evicted = shed_evicted
+        self.shed_draining = shed_draining
+        self.deadline_queue_misses = deadline_queue_misses
+        self.deadline_backend_misses = deadline_backend_misses
+        self.backend_errors = backend_errors
+        self.hedges_sent = hedges_sent
+        self.hedge_wins = hedge_wins
+        self.hedge_cancelled = hedge_cancelled
+        self.drains = drains
+        self.swaps = swaps
 
     @property
     def shed(self) -> int:
@@ -295,11 +350,13 @@ class PKGMGateway:
         config: Optional[GatewayConfig] = None,
         clock: Optional[StepClock] = None,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
         self.config = config if config is not None else GatewayConfig()
         self.clock = clock if clock is not None else StepClock()
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self.replicas: List[TimedBackend] = [
             replica
             if isinstance(replica, TimedBackend)
@@ -311,10 +368,14 @@ class PKGMGateway:
             for index, replica in enumerate(replicas)
         ]
         self.admission: AdmissionController[GatewayRequest] = AdmissionController(
-            self.config.admission, clock=self.clock
+            self.config.admission, clock=self.clock, registry=self.metrics
         )
         self.state = SERVING
-        self.stats = GatewayStats()
+        self.stats = GatewayStats(registry=self.metrics)
+        self._latency_h = self.metrics.histogram(
+            "gateway.latency",
+            help="End-to-end virtual latency of completed requests",
+        )
         self._inflight: List[_Completion] = []
         self._done: List[GatewayResponse] = []
         self._next_id = 0
@@ -436,6 +497,7 @@ class PKGMGateway:
         while self._inflight and self._inflight[0].at <= now:
             completion = heapq.heappop(self._inflight)
             self._done.append(completion.response)
+            self._latency_h.observe(completion.response.latency)
             if completion.response.ok:
                 self.stats.completed_ok += 1
             else:
@@ -601,20 +663,34 @@ class PKGMGateway:
 
 
 def build_replicas(
-    server, count: int, cache_capacity: int = 512, seed: int = 0
+    server,
+    count: int,
+    cache_capacity: int = 512,
+    seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[TimedBackend]:
     """``count`` timed replicas over one snapshot, each with its own LRU.
 
     Every replica gets an independent :class:`CachedPKGMServer` (so a
     swap refreshes per-replica caches) and an independently seeded
     latency model — replicas straggle at different times, which is what
-    makes hedging win.
+    makes hedging win.  With a shared ``registry``, each replica's
+    cache counters land under a ``replica_<i>.cache.*`` prefix so one
+    snapshot shows per-replica hit rates.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
     return [
         TimedBackend(
-            CachedPKGMServer(server, capacity=cache_capacity),
+            CachedPKGMServer(
+                server,
+                capacity=cache_capacity,
+                registry=(
+                    registry.child(f"replica_{index}")
+                    if registry is not None
+                    else None
+                ),
+            ),
             latency=LatencyModel(seed=seed + index),
             name=f"replica-{index}",
         )

@@ -22,13 +22,13 @@ flaky backend into a caller-visible exception.  The contract of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.cache import CachedPKGMServer
 from ..core.service import ServiceVectors
+from ..obs.metrics import MetricsRegistry, counter_view
 from .retry import (
     CircuitBreaker,
     CircuitOpenError,
@@ -64,17 +64,51 @@ def fallback_payload(
     )
 
 
-@dataclass
 class DegradationStats:
-    """Structured error/degradation counters for the facade."""
+    """Structured error/degradation counters for the facade.
 
-    requests: int = 0
-    served_live: int = 0
-    served_stale: int = 0
-    fallback_unknown: int = 0
-    fallback_error: int = 0
-    deadline_exceeded: int = 0
-    breaker_short_circuits: int = 0
+    The counters are registry-backed (``serving.*`` in a
+    :class:`repro.obs.metrics.MetricsRegistry`) with the original
+    attribute surface kept as read/write views, so both
+    ``stats.requests += 1`` call sites and registry snapshots see the
+    same numbers.
+    """
+
+    requests = counter_view("serving.requests", help="Requests offered")
+    served_live = counter_view("serving.served_live", help="Live answers")
+    served_stale = counter_view("serving.served_stale", help="Stale-cache answers")
+    fallback_unknown = counter_view(
+        "serving.fallback_unknown", help="Unknown-id fallbacks"
+    )
+    fallback_error = counter_view(
+        "serving.fallback_error", help="Backend-error fallbacks"
+    )
+    deadline_exceeded = counter_view(
+        "serving.deadline_exceeded", help="Deadline-blown fallbacks"
+    )
+    breaker_short_circuits = counter_view(
+        "serving.breaker_short_circuits", help="Circuit-open short circuits"
+    )
+
+    def __init__(
+        self,
+        requests: int = 0,
+        served_live: int = 0,
+        served_stale: int = 0,
+        fallback_unknown: int = 0,
+        fallback_error: int = 0,
+        deadline_exceeded: int = 0,
+        breaker_short_circuits: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.requests = requests
+        self.served_live = served_live
+        self.served_stale = served_stale
+        self.fallback_unknown = fallback_unknown
+        self.fallback_error = fallback_error
+        self.deadline_exceeded = deadline_exceeded
+        self.breaker_short_circuits = breaker_short_circuits
 
     @property
     def degraded_rate(self) -> float:
@@ -100,6 +134,17 @@ class ResilientPKGMServer:
     fresh LRU (the stale-serving path needs one).
     """
 
+    #: Resolution outcomes (exactly one per request), pre-registered so
+    #: every facade's snapshot exposes the same
+    #: ``serving.resolution{outcome=...}`` keys.
+    RESOLUTIONS = (
+        "live",
+        "stale",
+        "fallback-unknown",
+        "fallback-error",
+        "deadline",
+    )
+
     def __init__(
         self,
         backend,
@@ -108,16 +153,28 @@ class ResilientPKGMServer:
         fallback: str = "zero",
         cache_capacity: int = 1024,
         clock: Optional[StepClock] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if fallback not in FALLBACK_MODES:
             raise ValueError(
                 f"fallback must be one of {FALLBACK_MODES}, got {fallback!r}"
             )
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._resolution = {
+            outcome: self.metrics.counter(
+                "serving.resolution",
+                help="How requests were resolved",
+                labels={"outcome": outcome},
+            )
+            for outcome in self.RESOLUTIONS
+        }
         self.clock = clock if clock is not None else StepClock()
         if isinstance(backend, CachedPKGMServer):
             self._cached = backend
         else:
-            self._cached = CachedPKGMServer(backend, capacity=cache_capacity)
+            self._cached = CachedPKGMServer(
+                backend, capacity=cache_capacity, registry=self.metrics
+            )
         self._retrier = Retrier(retry, clock=self.clock)
         self.breaker = (
             breaker if breaker is not None else CircuitBreaker(clock=self.clock)
@@ -126,7 +183,7 @@ class ResilientPKGMServer:
             # One clock drives backoff and recovery windows together.
             self.breaker.clock = self.clock
         self.fallback = fallback
-        self.stats = DegradationStats()
+        self.stats = DegradationStats(registry=self.metrics)
         self._mean_payload: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -220,24 +277,30 @@ class ResilientPKGMServer:
             return self._stale_or_fallback(entity_id, error=True)
         except DeadlineExceededError:
             self.stats.deadline_exceeded += 1
+            self._resolution["deadline"].inc()
             return self._fallback_payload(entity_id)
         except (RPCError, RetryExhaustedError):
             return self._stale_or_fallback(entity_id, error=True)
         except (KeyError, IndexError):
             self.stats.fallback_unknown += 1
+            self._resolution["fallback-unknown"].inc()
             return self._fallback_payload(entity_id)
         self.stats.served_live += 1
+        self._resolution["live"].inc()
         return vectors
 
     def _stale_or_fallback(self, entity_id: int, error: bool) -> ServiceVectors:
         stale = self._cached.peek(entity_id)
         if stale is not None:
             self.stats.served_stale += 1
+            self._resolution["stale"].inc()
             return stale
         if error:
             self.stats.fallback_error += 1
+            self._resolution["fallback-error"].inc()
         else:
             self.stats.fallback_unknown += 1
+            self._resolution["fallback-unknown"].inc()
         return self._fallback_payload(entity_id)
 
     def serve_batch(self, entity_ids: Sequence[int]) -> List[ServiceVectors]:

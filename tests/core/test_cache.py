@@ -134,6 +134,42 @@ class TestCachedServing:
         assert "hit-rate" in cached.stats().as_row()
 
 
+class TestLegacyAccountingSurface:
+    """The pre-registry attribute surface must survive the migration."""
+
+    def test_hits_misses_evictions_attributes(self, cached, catalog):
+        ids = [item.entity_id for item in catalog.items[:5]]
+        for entity in ids:
+            cached.serve(entity)
+        cached.serve(ids[4])
+        assert cached.hits == 1
+        assert cached.misses == 5
+        assert cached.evictions == 1
+        stats = cached.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 5, 1)
+
+    def test_attributes_track_registry(self, server, catalog):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cached = CachedPKGMServer(server, capacity=4, registry=registry)
+        cached.serve(catalog.items[0].entity_id)
+        assert registry.snapshot()["cache.misses"] == cached.misses == 1
+
+    def test_default_registry_is_private(self, server):
+        a = CachedPKGMServer(server, capacity=4)
+        b = CachedPKGMServer(server, capacity=4)
+        a.serve(0)
+        assert a.metrics is not b.metrics
+        assert b.misses == 0
+
+    def test_refresh_keeps_lifetime_refresh_count(self, cached, server, catalog):
+        cached.serve(catalog.items[0].entity_id)
+        cached.refresh(server)
+        cached.refresh(server)
+        assert cached.metrics.snapshot()["cache.refreshes"] == 2
+
+
 class FlipFlopBackend:
     """Backend that serves flagged fallbacks until switched live."""
 

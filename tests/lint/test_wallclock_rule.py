@@ -17,6 +17,16 @@ class TestScope:
         assert len(inside) == 1
         assert outside == []
 
+    def test_flags_inside_obs(self, lint_source):
+        source = """
+            import time
+
+            def stamp():
+                return time.monotonic()
+        """
+        violations = lint_source(RULE, source, path="src/repro/obs/trace.py")
+        assert len(violations) == 1
+
     def test_scoped_paths_configurable(self, lint_source):
         source = """
             import time
@@ -109,15 +119,16 @@ class TestCleanCode:
         """
         assert lint_source(RULE, source, path=RELIABILITY_PATH) == []
 
-    def test_shipped_reliability_package_is_clean(self):
+    def test_shipped_virtual_clock_packages_are_clean(self):
         from pathlib import Path
 
         from repro.lint import Linter
         from repro.lint.registry import get_rule_class
 
         linter = Linter(rules=[get_rule_class(RULE)()])
-        root = Path(__file__).resolve().parents[2] / "src/repro/reliability"
+        src = Path(__file__).resolve().parents[2] / "src/repro"
         violations = []
-        for path in sorted(root.glob("*.py")):
-            violations.extend(linter.lint_file(path))
+        for package in ("reliability", "obs"):
+            for path in sorted((src / package).glob("*.py")):
+                violations.extend(linter.lint_file(path))
         assert violations == []

@@ -1,0 +1,93 @@
+"""Telemetry determinism: same seed + fault plan, same exported bytes.
+
+The acceptance bar for the obs layer mirrors the repo-wide one: two
+runs with identical seeds must export *byte-identical* telemetry —
+metrics snapshots, Prometheus text, and Chrome trace JSON — even when
+the run includes an injected shard crash and a bit-exact checkpoint
+resume (the PR-2 chaos harness).
+"""
+
+import numpy as np
+
+from repro.distributed import DistributedConfig, DistributedPKGMTrainer
+from repro.obs import MetricsRegistry, Tracer, to_json, to_prometheus
+from repro.reliability import CrashEvent, FaultPlan
+
+from tests.test_robustness import _chaos_config, _chaos_model, _chaos_store, CHAOS_SEED
+
+
+def _faulted_run(tmp_dir):
+    """One crash+resume chaos run with full telemetry attached."""
+    registry = MetricsRegistry()
+    tracer = Tracer(seed=CHAOS_SEED)
+    plan = FaultPlan(
+        seed=CHAOS_SEED,
+        crashes=(CrashEvent(epoch=4, batch=3, shard=1),),
+    )
+    trainer = DistributedPKGMTrainer(
+        _chaos_model(),
+        _chaos_config(),
+        faults=plan,
+        checkpoint_dir=tmp_dir,
+        resume=False,
+        registry=registry,
+        tracer=tracer,
+    )
+    losses = trainer.train(_chaos_store())
+    return registry, tracer, losses
+
+
+class TestFaultedTelemetryDeterminism:
+    def test_metrics_and_traces_are_byte_identical(self, tmp_path):
+        reg_a, tracer_a, losses_a = _faulted_run(tmp_path / "a")
+        reg_b, tracer_b, losses_b = _faulted_run(tmp_path / "b")
+        assert np.allclose(losses_a, losses_b)
+        assert to_prometheus(reg_a) == to_prometheus(reg_b)
+        assert to_json(reg_a) == to_json(reg_b)
+        assert tracer_a.export_chrome() == tracer_b.export_chrome()
+        assert tracer_a.render_tree() == tracer_b.render_tree()
+
+    def test_crash_and_recovery_visible_in_trace(self, tmp_path):
+        registry, tracer, _ = _faulted_run(tmp_path / "run")
+        tree = tracer.render_tree()
+        assert "crash shard=1" in tree
+        assert "restored epoch=4" in tree
+        assert registry.snapshot()["dist.recoveries"] == 1
+
+    def test_clean_run_telemetry_is_reproducible(self):
+        def run():
+            registry = MetricsRegistry()
+            trainer = DistributedPKGMTrainer(
+                _chaos_model(),
+                DistributedConfig(
+                    num_shards=4,
+                    num_workers=4,
+                    epochs=3,
+                    batch_size=32,
+                    learning_rate=0.02,
+                    seed=CHAOS_SEED,
+                ),
+                registry=registry,
+            )
+            trainer.train(_chaos_store())
+            return to_prometheus(registry)
+
+        assert run() == run()
+
+
+class TestWorkloadDeterminism:
+    def test_metrics_workload_exports_identical_bytes(self):
+        from repro.obs import run_metrics_workload
+
+        reg_a, _ = run_metrics_workload(seed=0, requests=150)
+        reg_b, _ = run_metrics_workload(seed=0, requests=150)
+        assert to_prometheus(reg_a) == to_prometheus(reg_b)
+        assert to_json(reg_a) == to_json(reg_b)
+
+    def test_trace_workload_exports_identical_bytes(self):
+        from repro.obs import profile_report, run_trace_workload
+
+        _, tracer_a, prof_a, _ = run_trace_workload(seed=0, epochs=1)
+        _, tracer_b, prof_b, _ = run_trace_workload(seed=0, epochs=1)
+        assert tracer_a.export_chrome() == tracer_b.export_chrome()
+        assert profile_report(prof_a) == profile_report(prof_b)

@@ -1,0 +1,158 @@
+"""Tests for the metrics registry: instruments, labels, snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, counter_view
+from repro.obs.metrics import _format_value, _label_suffix
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = MetricsRegistry().counter("requests")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_add_reset(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(7)
+        gauge.add(-2)
+        assert gauge.value == 5
+        gauge.reset()
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self):
+        hist = MetricsRegistry().histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        snapshot = dict(hist.items())
+        assert snapshot['latency_bucket{le="0.1"}'] == 1
+        assert snapshot['latency_bucket{le="1.0"}'] == 3
+        assert snapshot['latency_bucket{le="+Inf"}'] == 4
+        assert snapshot["latency_count"] == 4
+        assert snapshot["latency_sum"] == pytest.approx(6.05)
+
+    def test_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", buckets=())
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # le="1.0" is inclusive, Prometheus-style
+        assert dict(hist.items())['h_bucket{le="1.0"}'] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "1abc", "a..b", "a-b"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_labels_are_canonicalized(self):
+        registry = MetricsRegistry()
+        one = registry.counter("rpc", labels={"shard": 1, "kind": "pull"})
+        two = registry.counter("rpc", labels={"kind": "pull", "shard": 1})
+        assert one is two
+        assert one.labels == '{kind="pull",shard="1"}'
+
+    def test_child_shares_store_with_prefix(self):
+        root = MetricsRegistry()
+        child = root.child("replica_0")
+        child.counter("cache.hits").inc()
+        assert root.snapshot() == {"replica_0.cache.hits": 1}
+
+    def test_child_prefix_validated(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().child("bad prefix")
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()) == ["alpha", "zeta"]
+
+    def test_diff_drops_zero_deltas(self):
+        registry = MetricsRegistry()
+        a = registry.counter("a")
+        registry.counter("b")
+        before = registry.snapshot()
+        a.inc(2)
+        assert MetricsRegistry.diff(before, registry.snapshot()) == {"a": 2}
+
+    def test_reset_zeroes_but_keeps_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.reset()
+        assert registry.snapshot() == {"a": 0}
+
+
+class TestFormatting:
+    def test_ints_stay_ints(self):
+        assert _format_value(3) == "3"
+        assert _format_value(True) == "1"
+
+    def test_floats_use_repr(self):
+        assert _format_value(0.1) == "0.1"
+        assert _format_value(2.0) == "2.0"
+
+    def test_empty_labels(self):
+        assert _label_suffix(None) == ""
+        assert _label_suffix({}) == ""
+
+
+class _Stats:
+    """Minimal host for counter_view (mirrors the stats surfaces)."""
+
+    requests = counter_view("serving.requests")
+
+    def __init__(self, registry):
+        self.metrics = registry
+        self.requests = 0
+
+
+class TestCounterView:
+    def test_reads_and_writes_go_through_registry(self):
+        registry = MetricsRegistry()
+        stats = _Stats(registry)
+        stats.requests += 1
+        stats.requests += 1
+        assert stats.requests == 2
+        assert registry.snapshot()["serving.requests"] == 2
+
+    def test_assignment_overwrites(self):
+        registry = MetricsRegistry()
+        stats = _Stats(registry)
+        stats.requests = 7
+        assert registry.snapshot()["serving.requests"] == 7
+
+    def test_class_access_returns_descriptor(self):
+        assert isinstance(_Stats.requests, counter_view)

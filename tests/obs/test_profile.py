@@ -1,0 +1,99 @@
+"""Tests for the per-phase profiler and tensor-op hook."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, get_op_hook, set_op_hook
+from repro.obs import Profiler, profile_report
+from repro.reliability import StepClock
+
+
+@pytest.fixture
+def profiler():
+    return Profiler(clock=StepClock())
+
+
+class TestPhaseAccounting:
+    def test_steps_charged_to_open_phase(self, profiler):
+        with profiler.phase("forward", units=32):
+            profiler.clock.advance(2.0)
+        totals = profiler.phases["forward"]
+        assert totals.calls == 1
+        assert totals.steps == 2.0
+        assert totals.units == 32
+
+    def test_nested_phase_pauses_parent(self, profiler):
+        with profiler.phase("epoch"):
+            profiler.clock.advance(1.0)
+            with profiler.phase("batch"):
+                profiler.clock.advance(4.0)
+            profiler.clock.advance(1.0)
+        assert profiler.phases["epoch"].steps == 2.0
+        assert profiler.phases["batch"].steps == 4.0
+
+    def test_phases_keep_first_open_order(self, profiler):
+        for name in ("sampling", "forward", "sampling"):
+            with profiler.phase(name):
+                pass
+        assert list(profiler.phases) == ["sampling", "forward"]
+        assert profiler.phases["sampling"].calls == 2
+
+    def test_reset(self, profiler):
+        with profiler.phase("forward"):
+            pass
+        profiler.reset()
+        assert profiler.phases == {}
+        assert profiler.total_ops == 0
+
+
+class TestOpHook:
+    def test_ops_counted_and_attributed(self, profiler):
+        with profiler:
+            a = Tensor(np.ones((2, 2)))
+            b = Tensor(np.ones((2, 2)))
+            with profiler.phase("forward"):
+                (a + b).sum()
+        assert profiler.total_ops >= 2
+        assert profiler.op_counts["add"] == 1
+        assert profiler.phases["forward"].ops >= 2
+
+    def test_hook_removed_after_exit(self, profiler):
+        with profiler:
+            pass
+        assert get_op_hook() is None
+
+    def test_previous_hook_restored(self, profiler):
+        calls = []
+
+        def outer_hook(op, data):
+            calls.append(op)
+
+        set_op_hook(outer_hook)
+        try:
+            with profiler:
+                assert get_op_hook() is not None
+            assert get_op_hook() is outer_hook
+        finally:
+            set_op_hook(None)
+
+    def test_ops_outside_any_phase_only_hit_totals(self, profiler):
+        with profiler:
+            Tensor(np.ones(2)) + Tensor(np.ones(2))
+        assert profiler.total_ops >= 1
+        assert all(t.ops == 0 for t in profiler.phases.values())
+
+
+class TestReport:
+    def test_report_lists_phases_and_top_ops(self, profiler):
+        with profiler:
+            with profiler.phase("forward", units=8):
+                profiler.clock.advance(1.0)
+                Tensor(np.ones(2)) + Tensor(np.ones(2))
+        report = profile_report(profiler)
+        assert "phase | calls | steps | tensor-ops | units" in report
+        assert "forward | calls=1 | steps=1 |" in report
+        assert "add | 1" in report
+
+    def test_top_ops_ranked_by_count_then_name(self, profiler):
+        profiler.op_counts = {"b": 2, "a": 2, "c": 5}
+        assert profiler.top_ops(2) == [("c", 5), ("a", 2)]

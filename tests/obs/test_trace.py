@@ -1,0 +1,121 @@
+"""Tests for step-clock span tracing and its exports."""
+
+import json
+
+import pytest
+
+from repro.obs import SpanStore, Tracer
+from repro.reliability import StepClock
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=StepClock(), seed=3)
+
+
+class TestSpans:
+    def test_span_records_virtual_duration(self, tracer):
+        with tracer.span("epoch") as span:
+            tracer.clock.advance(5.0)
+        assert span.duration == 5.0
+        assert span.status == "ok"
+
+    def test_nesting_sets_parent(self, tracer):
+        with tracer.span("epoch") as outer:
+            with tracer.span("batch") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_error_status_and_propagation(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("epoch") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error"
+        assert tracer.store.spans()[-1] is span
+
+    def test_ids_are_seed_deterministic(self):
+        def ids(seed):
+            tracer = Tracer(clock=StepClock(), seed=seed)
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            return [span.span_id for span in tracer.store.spans()]
+
+        assert ids(3) == ids(3)
+        assert ids(3) != ids(4)
+
+    def test_event_lands_on_current_span(self, tracer):
+        with tracer.span("epoch") as span:
+            tracer.clock.advance(2.0)
+            tracer.event("crash shard=1")
+        assert span.events == [(2.0, "crash shard=1")]
+
+    def test_event_without_open_span_is_noop(self, tracer):
+        tracer.event("orphan")  # must not raise
+        assert tracer.store.spans() == []
+
+
+class TestSpanStore:
+    def test_ring_buffer_evicts_oldest(self):
+        store = SpanStore(capacity=2)
+        tracer = Tracer(clock=StepClock())
+        tracer.store = store
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [span.name for span in store.spans()] == ["b", "c"]
+        assert store.dropped == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpanStore(capacity=0)
+
+
+class TestExport:
+    def test_chrome_export_is_canonical_json(self, tracer):
+        with tracer.span("epoch", epoch=0):
+            tracer.clock.advance(1.0)
+            tracer.event("marker")
+        payload = json.loads(tracer.export_chrome())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert complete[0]["name"] == "epoch"
+        assert complete[0]["dur"] == 1.0
+        assert complete[0]["args"]["epoch"] == 0
+        assert instants[0]["name"] == "marker"
+
+    def test_same_run_same_bytes(self):
+        def run():
+            tracer = Tracer(clock=StepClock(), seed=9)
+            with tracer.span("a", k=1):
+                tracer.clock.advance(3.0)
+                with tracer.span("b"):
+                    tracer.clock.advance(1.0)
+            return tracer.export_chrome()
+
+        assert run() == run()
+
+    def test_render_tree_indents_children(self, tracer):
+        with tracer.span("epoch", epoch=1):
+            tracer.clock.advance(1.0)
+            with tracer.span("batch"):
+                tracer.clock.advance(2.0)
+        tree = tracer.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("epoch")
+        assert "epoch=1" in lines[0]
+        assert lines[1].startswith("  batch")
+
+    def test_orphaned_spans_render_top_level(self):
+        tracer = Tracer(clock=StepClock())
+        tracer.store = SpanStore(capacity=1)
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second", parent=first):
+            pass
+        # Capacity 1: "first" was evicted, so "second" has a dangling
+        # parent_id and must render unindented rather than vanish.
+        tree = tracer.render_tree()
+        assert tree.splitlines() == [tree.splitlines()[0]]
+        assert tree.startswith("second")

@@ -85,6 +85,62 @@ class TestCommands:
         assert first != second
 
 
+class TestTelemetryCommands:
+    def test_parser_defaults(self):
+        met = build_parser().parse_args(["metrics"])
+        assert met.command == "metrics"
+        assert met.requests == 400
+        assert met.format == "prom"
+        tra = build_parser().parse_args(["trace"])
+        assert tra.command == "trace"
+        assert tra.epochs == 2
+        assert tra.format == "tree"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--format", "xml"])
+
+    def test_metrics_prometheus_output(self, capsys):
+        assert main(["metrics", "--preset", "smoke", "--requests", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE gateway_arrived counter" in out
+        assert "# TYPE gateway_latency histogram" in out
+        assert 'gateway_latency_bucket{le="+Inf"}' in out
+        assert "admission_arrived 150" in out
+
+    def test_metrics_json_output(self, capsys):
+        import json
+
+        argv = ["metrics", "--preset", "smoke", "--requests", "150"]
+        assert main(argv + ["--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["gateway.arrived"] == 150
+        assert "replica_0.cache.hits" in snapshot
+
+    def test_metrics_byte_identical_across_runs(self, capsys):
+        argv = ["metrics", "--preset", "smoke", "--requests", "150"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_trace_tree_output(self, capsys):
+        assert main(["trace", "--preset", "smoke", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "train.epoch" in out
+        assert "phase | calls | steps | tensor-ops | units" in out
+        assert "top tensor ops" in out
+
+    def test_trace_chrome_output_is_reproducible(self, capsys):
+        import json
+
+        argv = ["trace", "--preset", "smoke", "--epochs", "1", "--format", "chrome"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["traceEvents"][0]["name"] == "train.epoch"
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+
 class TestLoadtest:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["loadtest"])

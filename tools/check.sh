@@ -28,6 +28,21 @@ echo "== overload smoke (repro loadtest) =="
 python -m repro.cli loadtest --profile spike --requests 2000
 
 echo
+echo "== obs determinism (repro metrics / repro trace, byte-diffed) =="
+# Telemetry must be as reproducible as the computation it measures:
+# the same seeded workload exported twice has to be byte-identical,
+# for the Prometheus text and the Chrome trace JSON alike.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+python -m repro.cli metrics --preset smoke --requests 400 > "$OBS_TMP/metrics1.txt"
+python -m repro.cli metrics --preset smoke --requests 400 > "$OBS_TMP/metrics2.txt"
+diff "$OBS_TMP/metrics1.txt" "$OBS_TMP/metrics2.txt"
+python -m repro.cli trace --preset smoke --format chrome > "$OBS_TMP/trace1.json"
+python -m repro.cli trace --preset smoke --format chrome > "$OBS_TMP/trace2.json"
+diff "$OBS_TMP/trace1.json" "$OBS_TMP/trace2.json"
+echo "telemetry exports are byte-identical across reruns"
+
+echo
 echo "== repro.lint =="
 LINT_FLAGS=()
 if [ "${REPRO_CHECK_STRICT:-0}" = "1" ]; then
