@@ -9,7 +9,12 @@ triple-scorer choice.
 
 from .conve import ConvE, conv2d_3x3, pad2d
 from .hyperbolic import MuRP, artanh, expmap0, logmap0, mobius_add, poincare_distance, project_to_ball
-from .link_prediction import LinkPredictionResult, evaluate_link_prediction
+from .link_prediction import (
+    ANNLinkPredictionResult,
+    LinkPredictionResult,
+    evaluate_link_prediction,
+    evaluate_link_prediction_ann,
+)
 from .scorers import (
     SCORERS,
     ComplEx,
@@ -31,6 +36,7 @@ SCORERS["conve"] = ConvE
 SCORERS["murp"] = MuRP
 
 __all__ = [
+    "ANNLinkPredictionResult",
     "ComplEx",
     "ConvE",
     "DistMult",
@@ -47,6 +53,7 @@ __all__ = [
     "TransH",
     "TransR",
     "evaluate_link_prediction",
+    "evaluate_link_prediction_ann",
     "conv2d_3x3",
     "make_scorer",
     "pad2d",

@@ -13,6 +13,9 @@ writing Python:
     python -m repro.cli complete                   # §II-D completion demo
     python -m repro.cli chaos --crash-epoch 4      # fault-injected training
     python -m repro.cli loadtest --profile spike   # overload-serving drill
+    python -m repro.cli index build --out idx      # ANN snapshot (byte-stable)
+    python -m repro.cli index search --snapshot idx # nearest-tail queries
+    python -m repro.cli index eval                 # recall/cost vs exact Flat
     python -m repro.cli metrics --format prom      # telemetry snapshot export
     python -m repro.cli trace --format chrome      # span/profile trace export
     python -m repro.cli lint src tests             # static-analysis gate
@@ -341,6 +344,136 @@ def cmd_complete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _untrained_server(config: ExperimentConfig):
+    """Deterministic preset-scale server (seeded weights, no training).
+
+    Index mechanics — partitioning, snapshots, byte-determinism — do
+    not depend on trained weights, so the index CLI builds this in
+    milliseconds; the gate diffing two same-seed runs relies on it.
+    """
+    from .core import KeyRelationSelector, PKGMServer
+    from .data import generate_catalog
+
+    catalog = generate_catalog(config.catalog)
+    item_to_category = {item.entity_id: item.category_id for item in catalog.items}
+    selector = KeyRelationSelector(
+        catalog.store, item_to_category, k=config.key_relations
+    )
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        config.pkgm,
+        rng=np.random.default_rng(config.seed),
+    )
+    return PKGMServer(model, selector)
+
+
+def _index_params(args: argparse.Namespace, seed: int) -> dict:
+    """Constructor kwargs for the requested index kind."""
+    if args.kind == "flat":
+        return {"block_size": args.block_size}
+    params = {
+        "nlist": args.nlist,
+        "nprobe": args.nprobe,
+        "seed": seed,
+    }
+    if args.kind == "ivfpq":
+        params.update(m=args.m, ksub=args.ksub)
+    return params
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Build, query, or evaluate a retrieval index over the entity table.
+
+    ``build`` writes a checksummed snapshot (two same-seed runs are
+    byte-identical — the check.sh gate diffs them); ``search`` answers
+    nearest-tail queries from a snapshot or a fresh build; ``eval``
+    scores every index kind against the exact Flat baseline.
+    """
+    from .index import load_index, save_index
+
+    config = _load_config(args)
+    server = _untrained_server(config)
+
+    if args.index_command == "build":
+        index = server.build_tail_index(
+            kind=args.kind,
+            metric=args.metric,
+            **_index_params(args, config.seed),
+        )
+        manifest = save_index(index, args.out)
+        print(
+            f"{args.kind} index: {index.ntotal} vectors, dim {index.dim}, "
+            f"{index.metric}, {index.bytes_per_vector:.0f} bytes/vector"
+        )
+        print(f"snapshot -> {manifest.with_suffix('.npz')} + {manifest}")
+        return 0
+
+    items = server.known_items()
+    heads = items[: args.queries]
+    relations = [args.relation] * len(heads)
+
+    if args.index_command == "search":
+        if args.snapshot:
+            server._tail_index = load_index(args.snapshot)
+        else:
+            server.build_tail_index(
+                kind=args.kind,
+                metric=args.metric,
+                **_index_params(args, config.seed),
+            )
+        distances, ids = server.nearest_tails_batch(heads, relations, k=args.k)
+        for row, head in enumerate(heads):
+            cells = " ".join(
+                f"{ids[row][j]}:{distances[row][j]:.6f}"
+                for j in range(args.k)
+            )
+            print(f"S_T({head}, {args.relation}) -> {cells}")
+        return 0
+
+    if args.index_command == "eval":
+        flat = server.build_tail_index(kind="flat", metric=args.metric)
+        exact_d, exact_ids = server.nearest_tails_batch(
+            heads, relations, k=args.k
+        )
+        flat_dc = flat.metrics.counter(
+            "index.search.distance_computations"
+        ).value
+        print(
+            f"kind | recall@{args.k} | distance computations | saving | "
+            "bytes/vector"
+        )
+        print(f"flat | 1.000 | {flat_dc} | 1.0x | {flat.bytes_per_vector:.0f}")
+        for kind in ("ivf", "ivfpq"):
+            index = server.build_tail_index(
+                kind=kind,
+                metric=args.metric,
+                **_index_params(
+                    argparse.Namespace(**{**vars(args), "kind": kind}),
+                    config.seed,
+                ),
+            )
+            _, ann_ids = server.nearest_tails_batch(heads, relations, k=args.k)
+            dc = index.metrics.counter(
+                "index.search.distance_computations"
+            ).value
+            recall = float(
+                np.mean(
+                    [
+                        len(set(exact_ids[r]) & set(ann_ids[r])) / args.k
+                        for r in range(len(heads))
+                    ]
+                )
+            )
+            print(
+                f"{kind} | {recall:.3f} | {dc} | {flat_dc / dc:.1f}x | "
+                f"{index.bytes_per_vector:.0f}"
+            )
+        return 0
+
+    raise ValueError(f"unknown index subcommand {args.index_command!r}")
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run the seeded serving workload and export its telemetry.
 
@@ -473,6 +606,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for arrivals, priorities and replica latency draws",
     )
+    ind = sub.add_parser(
+        "index", help="deterministic ANN retrieval over the entity table"
+    )
+    isub = ind.add_subparsers(dest="index_command", required=True)
+
+    def index_common(p: argparse.ArgumentParser) -> None:
+        common(p)
+        p.add_argument(
+            "--kind", choices=("flat", "ivf", "ivfpq"), default="ivf"
+        )
+        p.add_argument("--metric", choices=("l1", "l2"), default="l1")
+        p.add_argument("--block-size", type=int, default=1024)
+        p.add_argument("--nlist", type=int, default=16)
+        p.add_argument("--nprobe", type=int, default=4)
+        p.add_argument("--m", type=int, default=8)
+        p.add_argument("--ksub", type=int, default=16)
+        p.add_argument("-k", type=int, default=10, help="neighbors per query")
+        p.add_argument(
+            "--queries", type=int, default=8, help="number of item queries"
+        )
+        p.add_argument("--relation", type=int, default=0)
+
+    build = isub.add_parser(
+        "build", help="build an index and write its checksummed snapshot"
+    )
+    index_common(build)
+    build.add_argument(
+        "--out", type=str, required=True, help="snapshot path (without suffix)"
+    )
+    search = isub.add_parser(
+        "search", help="nearest-tail queries from a snapshot or fresh build"
+    )
+    index_common(search)
+    search.add_argument(
+        "--snapshot", type=str, default=None, help="load this snapshot"
+    )
+    index_common(
+        isub.add_parser(
+            "eval", help="recall/cost of every index kind vs exact Flat"
+        )
+    )
     met = sub.add_parser(
         "metrics", help="seeded serving workload, metrics snapshot export"
     )
@@ -504,6 +678,7 @@ COMMANDS = {
     "complete": cmd_complete,
     "chaos": cmd_chaos,
     "loadtest": cmd_loadtest,
+    "index": cmd_index,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": lint_cli.run_lint,

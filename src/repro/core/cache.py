@@ -144,8 +144,24 @@ class CachedPKGMServer:
     def relation_existence_score(self, entity_id: int, relation: int) -> float:
         return self._server.relation_existence_score(entity_id, relation)
 
+    def relation_existence_scores(self, entity_ids, relations) -> np.ndarray:
+        return self._server.relation_existence_scores(entity_ids, relations)
+
     def known_items(self) -> List[int]:
         return self._server.known_items()
+
+    def build_tail_index(self, **kwargs):
+        return self._server.build_tail_index(**kwargs)
+
+    @property
+    def tail_index(self):
+        return self._server.tail_index
+
+    def nearest_tails(self, head: int, relation: int, k: int = 10):
+        return self._server.nearest_tails(head, relation, k)
+
+    def nearest_tails_batch(self, heads, relations, k: int = 10):
+        return self._server.nearest_tails_batch(heads, relations, k)
 
     # ------------------------------------------------------------------
     # Accounting views (legacy attribute surface over the registry)

@@ -99,6 +99,7 @@ class PKGMServer:
         )
         self._transfer = model.relation_module.transfer_matrices.data.copy()
         self._selector = selector
+        self._tail_index = None
 
     # ------------------------------------------------------------------
     # Raw module services for arbitrary (h, r)
@@ -154,16 +155,109 @@ class PKGMServer:
         paired = np.concatenate([triple, relation], axis=2)  # (B, k, 2d)
         return paired.mean(axis=1)
 
+    def relation_existence_scores(
+        self, entity_ids: Sequence[int], relations: Sequence[int]
+    ) -> np.ndarray:
+        """Batched L1 norms of ``S_R`` — one einsum pass, no item loop.
+
+        ``entity_ids`` and ``relations`` pair up elementwise; the result
+        is one score per pair.  Small means the relation (should) EXIST
+        (§II-D).
+        """
+        entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        if entity_ids.shape != relations.shape:
+            raise ValueError(
+                f"entity_ids {entity_ids.shape} and relations "
+                f"{relations.shape} must pair up elementwise"
+            )
+        return np.abs(self.relation_service(entity_ids, relations)).sum(axis=-1)
+
     def relation_existence_score(self, entity_id: int, relation: int) -> float:
         """L1 norm of ``S_R`` — small means (should) EXIST (§II-D)."""
-        score = self.relation_service(
-            np.asarray([entity_id]), np.asarray([relation])
+        return float(
+            self.relation_existence_scores([entity_id], [relation])[0]
         )
-        return float(np.abs(score).sum())
 
     def known_items(self) -> List[int]:
         """All item ids this server can answer for, ascending."""
         return self._selector.items()
+
+    # ------------------------------------------------------------------
+    # Retrieval: turn inferred tail embeddings back into entities
+    # ------------------------------------------------------------------
+    def build_tail_index(
+        self,
+        kind: str = "flat",
+        metric: str = "l1",
+        entity_ids: Optional[Sequence[int]] = None,
+        registry=None,
+        **params,
+    ):
+        """Build (and retain) a vector index over the entity table.
+
+        ``kind`` is one of ``repro.index.INDEX_KINDS``; ``metric``
+        defaults to L1, the TransE energy the triple module was trained
+        under.  ``entity_ids`` restricts the retrieval corpus (e.g. to
+        :meth:`known_items` for item-to-item queries); the default
+        indexes every entity.  Extra ``params`` (``nlist``, ``nprobe``,
+        ``m``, ``ksub``, ``seed``, …) pass through to the index
+        constructor.  Returns the index, which :meth:`nearest_tails`
+        uses until a new one is built.
+        """
+        # Imported lazily: repro.index reaches repro.reliability (for
+        # snapshot atomics), which imports repro.core at init time.
+        from ..index import INDEX_KINDS
+
+        if kind not in INDEX_KINDS:
+            raise ValueError(
+                f"kind must be one of {sorted(INDEX_KINDS)}, got {kind!r}"
+            )
+        if entity_ids is None:
+            ids = np.arange(self.num_entities, dtype=np.int64)
+        else:
+            ids = np.asarray(entity_ids, dtype=np.int64)
+        vectors = self._entity_table[ids]
+        index = INDEX_KINDS[kind](
+            dim=self.dim, metric=metric, registry=registry, **params
+        )
+        if hasattr(index, "build"):
+            index.build(vectors, ids)
+        else:
+            index.add(vectors, ids)
+        self._tail_index = index
+        return index
+
+    @property
+    def tail_index(self):
+        """The retrieval index, or ``None`` before the first build."""
+        return self._tail_index
+
+    def nearest_tails_batch(
+        self,
+        heads: Sequence[int],
+        relations: Sequence[int],
+        k: int = 10,
+    ):
+        """Entities nearest each inferred tail ``S_T(h, r) = h + r``.
+
+        Searches the tail index (building an exact Flat/L1 one on first
+        use) and returns ``(distances, entity_ids)``, both (B, k) —
+        the candidate-generation primitive behind link prediction and
+        "similar items".
+        """
+        if self._tail_index is None:
+            self.build_tail_index()
+        queries = self.triple_service(
+            np.asarray(heads, dtype=np.int64),
+            np.asarray(relations, dtype=np.int64),
+        )
+        return self._tail_index.search(np.atleast_2d(queries), k)
+
+    def nearest_tails(self, head: int, relation: int, k: int = 10):
+        """Single-query :meth:`nearest_tails_batch`: two (k,) arrays."""
+        distances, ids = self.nearest_tails_batch([head], [relation], k)
+        return distances[0], ids[0]
 
     # ------------------------------------------------------------------
     # Deployment: persist / restore the snapshot
@@ -259,6 +353,7 @@ class PKGMServer:
                 )
 
         server = cls.__new__(cls)
+        server._tail_index = None
         server._entity_table = entity_table
         server._relation_table = relation_table
         server._transfer = transfer

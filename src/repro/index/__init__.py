@@ -1,0 +1,39 @@
+"""repro.index — deterministic vector retrieval (Flat / IVF / IVF-PQ).
+
+The retrieval layer that turns PKGM's inferred tail embeddings
+(``S_T = h + r``) back into entities.  Three index kinds share one
+determinism contract — fixed distance formulas, ``(distance, id)``
+tie-breaking, seeded k-means — so that the same seed and vectors
+always produce byte-identical snapshots and identical search results:
+
+* :class:`FlatIndex` — blocked exact scan; the recall oracle.
+* :class:`IVFFlatIndex` — inverted-file cells, exact in-cell distances.
+* :class:`IVFPQIndex` — inverted-file cells over product-quantized
+  codes with asymmetric distance tables; ~10x smaller per vector.
+
+:func:`save_index` / :func:`load_index` persist any of them with
+checksummed atomic snapshots in the reliability-checkpoint style.
+"""
+
+from .flat import METRICS, FlatIndex, batch_top_k, pairwise_distances, top_k
+from .ivf import IVFFlatIndex
+from .kmeans import KMeansResult, kmeans
+from .pq import IVFPQIndex, ProductQuantizer
+from .snapshot import INDEX_KINDS, IndexSnapshotError, load_index, save_index
+
+__all__ = [
+    "METRICS",
+    "FlatIndex",
+    "IVFFlatIndex",
+    "IVFPQIndex",
+    "INDEX_KINDS",
+    "IndexSnapshotError",
+    "KMeansResult",
+    "ProductQuantizer",
+    "batch_top_k",
+    "kmeans",
+    "load_index",
+    "pairwise_distances",
+    "save_index",
+    "top_k",
+]

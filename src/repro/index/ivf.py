@@ -1,0 +1,291 @@
+"""IVF-Flat: inverted-file search over a k-means coarse quantizer.
+
+The paper's PKG-sub table holds 142.6M items; answering "which entities
+sit closest to ``S_T = h + r``" by brute force is a full-table scan per
+query.  IVF cuts that cost by partitioning the table into ``nlist``
+cells (seeded k-means, :mod:`repro.index.kmeans`) and scanning only the
+``nprobe`` cells whose centroids are nearest the query: the per-query
+work drops from ``N`` distances to ``nlist + nprobe * N / nlist`` on a
+balanced partition — the ≥5x saving the bench enforces at recall@10
+≥ 0.9.
+
+Everything is deterministic: the coarse quantizer is seeded, probe
+order breaks centroid-distance ties by cell id, and candidate ranking
+uses the shared ``(distance, id)`` order from :mod:`repro.index.flat`.
+Same seed, same vectors ⇒ byte-identical snapshots and search results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .flat import METRICS, batch_top_k, pairwise_distances
+from .kmeans import kmeans
+
+
+class IVFFlatIndex:
+    """Inverted-file index with exact distances inside probed cells.
+
+    Lifecycle: ``train`` (k-means on a representative sample), then
+    ``add`` (assign vectors to cells), then ``search``; ``build`` does
+    train+add in one call.  ``nprobe`` may be overridden per search to
+    trade recall against scanned volume.
+    """
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        dim: int,
+        nlist: int = 64,
+        nprobe: int = 8,
+        metric: str = "l2",
+        seed: int = 0,
+        kmeans_iters: int = 25,
+        registry=None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if metric not in METRICS:
+            raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+        if nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if not 1 <= nprobe <= nlist:
+            raise ValueError("nprobe must be in [1, nlist]")
+        self.dim = dim
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.metric = metric
+        self.seed = seed
+        self.kmeans_iters = kmeans_iters
+        if registry is None:
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics = registry
+        self._queries_c = registry.counter(
+            "index.search.queries", help="Search queries answered"
+        )
+        self._search_dc = registry.counter(
+            "index.search.distance_computations",
+            help="Query-to-vector distances evaluated during search",
+        )
+        self._build_dc = registry.counter(
+            "index.build.distance_computations",
+            help="Distances evaluated while training/adding",
+        )
+        self._size_g = registry.gauge(
+            "index.size", help="Vectors currently indexed"
+        )
+        self.centroids: Optional[np.ndarray] = None
+        self._list_vectors: List[np.ndarray] = []
+        self._list_ids: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        """Whether the coarse quantizer has centroids."""
+        return self.centroids is not None
+
+    @property
+    def ntotal(self) -> int:
+        """Number of vectors across all inverted lists."""
+        return int(sum(len(ids) for ids in self._list_ids))
+
+    @property
+    def bytes_per_vector(self) -> float:
+        """Storage cost per vector (float64 coordinates + int64 id)."""
+        return self.dim * 8 + 8
+
+    def train(self, vectors: np.ndarray) -> None:
+        """Fit the coarse quantizer on ``vectors`` (seeded k-means)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        nlist = min(self.nlist, len(vectors))
+        if nlist < self.nlist:
+            raise ValueError(
+                f"nlist={self.nlist} exceeds the {len(vectors)} training vectors"
+            )
+        result = kmeans(
+            vectors,
+            self.nlist,
+            metric=self.metric,
+            iters=self.kmeans_iters,
+            seed=self.seed,
+        )
+        self._build_dc.inc(result.iterations * len(vectors) * self.nlist)
+        self.centroids = result.centroids
+        self._list_vectors = [
+            np.empty((0, self.dim)) for _ in range(self.nlist)
+        ]
+        self._list_ids = [
+            np.empty(0, dtype=np.int64) for _ in range(self.nlist)
+        ]
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> None:
+        """Assign ``vectors`` to their nearest cell and store them."""
+        if not self.is_trained:
+            raise RuntimeError("train() the coarse quantizer before add()")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (N, {self.dim}) vectors, got {vectors.shape}"
+            )
+        if ids is None:
+            ids = np.arange(
+                self.ntotal, self.ntotal + len(vectors), dtype=np.int64
+            )
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (len(vectors),):
+                raise ValueError("ids must be one id per vector")
+        cells = np.argmin(
+            pairwise_distances(vectors, self.centroids, self.metric), axis=1
+        )
+        self._build_dc.inc(len(vectors) * self.nlist)
+        for cell in np.unique(cells):
+            members = cells == cell
+            self._list_vectors[cell] = np.concatenate(
+                [self._list_vectors[cell], vectors[members]], axis=0
+            )
+            self._list_ids[cell] = np.concatenate(
+                [self._list_ids[cell], ids[members]]
+            )
+        self._size_g.set(self.ntotal)
+
+    def build(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> None:
+        """Train on ``vectors`` and add them — the common one-shot path."""
+        self.train(vectors)
+        self.add(vectors, ids)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def probe_cells(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """(Q, nprobe) nearest cell ids per query, ties by cell id."""
+        centroid_d = pairwise_distances(queries, self.centroids, self.metric)
+        self._search_dc.inc(queries.shape[0] * self.nlist)
+        cell_ids = np.broadcast_to(
+            np.arange(self.nlist, dtype=np.int64), centroid_d.shape
+        )
+        _, probes = batch_top_k(centroid_d, cell_ids, nprobe)
+        return probes
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate ``(distances, ids)`` over the probed cells.
+
+        Distances inside a probed cell are exact; recall is governed by
+        how often the true neighbors' cells are among the ``nprobe``
+        probes.  Rows pad with ``(inf, -1)`` when the probed cells hold
+        fewer than ``k`` vectors.
+        """
+        if not self.is_trained:
+            raise RuntimeError("train() the coarse quantizer before search()")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (Q, {self.dim}) queries, got {queries.shape}"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        if not 1 <= nprobe <= self.nlist:
+            raise ValueError("nprobe must be in [1, nlist]")
+        self._queries_c.inc(len(queries))
+        probes = self.probe_cells(queries, nprobe)
+        out_d = np.full((len(queries), k), np.inf)
+        out_i = np.full((len(queries), k), -1, dtype=np.int64)
+        for row, row_probes in enumerate(probes):
+            cand_vectors = [self._list_vectors[c] for c in row_probes]
+            cand_ids = [self._list_ids[c] for c in row_probes]
+            vectors = np.concatenate(cand_vectors, axis=0)
+            ids = np.concatenate(cand_ids)
+            if not len(ids):
+                continue
+            distances = pairwise_distances(
+                queries[row : row + 1], vectors, self.metric
+            )
+            self._search_dc.inc(len(ids))
+            pad = max(0, k - len(ids))
+            if pad:
+                distances = np.pad(
+                    distances, ((0, 0), (0, pad)), constant_values=np.inf
+                )
+                ids = np.pad(ids, (0, pad), constant_values=-1)
+            out_d[row], out_i[row] = batch_top_k(
+                distances, ids[None, :], k
+            )
+        return out_d, out_i
+
+    # ------------------------------------------------------------------
+    # Snapshot surface (see repro.index.snapshot)
+    # ------------------------------------------------------------------
+    def state(self):
+        """``(arrays, meta)`` capturing the index for serialization.
+
+        Inverted lists flatten into one vector block + one id block
+        with per-cell offsets, so the payload is a handful of arrays
+        regardless of ``nlist``.
+        """
+        if not self.is_trained:
+            raise RuntimeError("cannot snapshot an untrained index")
+        offsets = np.zeros(self.nlist + 1, dtype=np.int64)
+        for cell in range(self.nlist):
+            offsets[cell + 1] = offsets[cell] + len(self._list_ids[cell])
+        arrays = {
+            "centroids": self.centroids,
+            "vectors": (
+                np.concatenate(self._list_vectors, axis=0)
+                if self.ntotal
+                else np.empty((0, self.dim))
+            ),
+            "ids": (
+                np.concatenate(self._list_ids)
+                if self.ntotal
+                else np.empty(0, dtype=np.int64)
+            ),
+            "offsets": offsets,
+        }
+        meta = {
+            "kind": self.kind,
+            "dim": self.dim,
+            "metric": self.metric,
+            "nlist": self.nlist,
+            "nprobe": self.nprobe,
+            "seed": self.seed,
+            "kmeans_iters": self.kmeans_iters,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(cls, arrays, meta, registry=None) -> "IVFFlatIndex":
+        """Rebuild an index captured by :meth:`state`."""
+        index = cls(
+            dim=int(meta["dim"]),
+            nlist=int(meta["nlist"]),
+            nprobe=int(meta["nprobe"]),
+            metric=str(meta["metric"]),
+            seed=int(meta["seed"]),
+            kmeans_iters=int(meta["kmeans_iters"]),
+            registry=registry,
+        )
+        index.centroids = np.asarray(arrays["centroids"], dtype=np.float64)
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        vectors = np.asarray(arrays["vectors"], dtype=np.float64)
+        ids = np.asarray(arrays["ids"], dtype=np.int64)
+        index._list_vectors = [
+            vectors[offsets[c] : offsets[c + 1]] for c in range(index.nlist)
+        ]
+        index._list_ids = [
+            ids[offsets[c] : offsets[c + 1]] for c in range(index.nlist)
+        ]
+        index._size_g.set(index.ntotal)
+        return index

@@ -1,0 +1,437 @@
+"""Product quantization and IVF-PQ: memory-compressed approximate search.
+
+At 142.6M items the PKG-sub entity table does not fit in RAM as raw
+float64 — PQ trades a bounded distance error for a ~10x smaller
+footprint.  Each vector is split into ``m`` contiguous subspaces; each
+subspace gets a seeded k-means codebook of ``ksub`` centroids
+(:mod:`repro.index.kmeans`), and the vector is stored as ``m`` one-byte
+code indices instead of ``dim`` floats.
+
+Search uses **asymmetric distance computation** (ADC): the query stays
+exact, and a per-query table of query-subvector-to-centroid distances
+is built once (``m * ksub`` entries); each candidate's approximate
+distance is then ``m`` table lookups, never a decode.  For L2 the
+table holds *squared* subspace distances so per-subspace sums compose
+(the root is taken once at the end); L1 sums compose directly.
+
+:class:`IVFPQIndex` layers the PQ codes behind the same coarse
+quantizer as IVF-Flat: probe ``nprobe`` cells, rank their members by
+ADC.  Codes are quantized from raw vectors (not cell residuals), so one
+ADC table serves every probed cell — simpler, and deterministic by the
+same ``(distance, id)`` order as the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .flat import METRICS, batch_top_k, pairwise_distances
+from .kmeans import kmeans
+
+
+class ProductQuantizer:
+    """Per-subspace k-means codebooks mapping vectors to ``m`` bytes.
+
+    ``dim`` must divide evenly into ``m`` subspaces; ``ksub`` (codebook
+    size, at most 256 so codes fit ``uint8``) is capped by the caller's
+    training-set size.  ``train`` → ``encode``/``decode`` mirror the
+    index lifecycle.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 8,
+        ksub: int = 16,
+        seed: int = 0,
+        iters: int = 25,
+    ) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if m < 1 or dim % m != 0:
+            raise ValueError(f"m must divide dim ({dim}), got m={m}")
+        if not 1 <= ksub <= 256:
+            raise ValueError("ksub must be in [1, 256] (codes are uint8)")
+        self.dim = dim
+        self.m = m
+        self.dsub = dim // m
+        self.ksub = ksub
+        self.seed = seed
+        self.iters = iters
+        self.codebooks: Optional[np.ndarray] = None  # (m, ksub, dsub)
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether codebooks exist."""
+        return self.codebooks is not None
+
+    def _subspaces(self, vectors: np.ndarray) -> np.ndarray:
+        """(N, d) → (m, N, dsub) contiguous subvector views."""
+        return np.transpose(
+            vectors.reshape(len(vectors), self.m, self.dsub), (1, 0, 2)
+        )
+
+    def train(self, vectors: np.ndarray) -> None:
+        """Fit one seeded k-means codebook per subspace.
+
+        Subspace ``j`` trains with seed ``seed + j`` so codebooks are
+        independent yet reproducible.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (N, {self.dim}) vectors, got {vectors.shape}"
+            )
+        if len(vectors) < self.ksub:
+            raise ValueError(
+                f"ksub={self.ksub} exceeds the {len(vectors)} training vectors"
+            )
+        codebooks = np.empty((self.m, self.ksub, self.dsub))
+        for j, sub in enumerate(self._subspaces(vectors)):
+            result = kmeans(
+                sub,
+                self.ksub,
+                metric="l2",
+                iters=self.iters,
+                seed=self.seed + j,
+            )
+            codebooks[j] = result.centroids
+        self.codebooks = codebooks
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize ``vectors`` to (N, m) uint8 code indices.
+
+        Each subvector maps to its nearest codeword (ties to the lowest
+        code id, matching the package-wide order).
+        """
+        if not self.is_trained:
+            raise RuntimeError("train() the quantizer before encode()")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        codes = np.empty((len(vectors), self.m), dtype=np.uint8)
+        for j, sub in enumerate(self._subspaces(vectors)):
+            distances = pairwise_distances(sub, self.codebooks[j], "l2")
+            codes[:, j] = np.argmin(distances, axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (N, dim) vectors from (N, m) codes."""
+        if not self.is_trained:
+            raise RuntimeError("train() the quantizer before decode()")
+        codes = np.asarray(codes)
+        out = np.empty((len(codes), self.dim))
+        for j in range(self.m):
+            out[:, j * self.dsub : (j + 1) * self.dsub] = self.codebooks[j][
+                codes[:, j]
+            ]
+        return out
+
+    def adc_tables(self, queries: np.ndarray, metric: str) -> np.ndarray:
+        """(Q, m, ksub) asymmetric distance tables for ``queries``.
+
+        Entry ``[q, j, c]`` is the distance from query ``q``'s ``j``-th
+        subvector to codeword ``c`` — squared L2 for ``l2`` (so subspace
+        contributions add), plain L1 for ``l1``.
+        """
+        if not self.is_trained:
+            raise RuntimeError("train() the quantizer before adc_tables()")
+        if metric not in METRICS:
+            raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+        queries = np.asarray(queries, dtype=np.float64)
+        tables = np.empty((len(queries), self.m, self.ksub))
+        for j, sub in enumerate(self._subspaces(queries)):
+            if metric == "l1":
+                tables[:, j, :] = pairwise_distances(sub, self.codebooks[j], "l1")
+            else:
+                diff = sub[:, None, :] - self.codebooks[j][None, :, :]
+                tables[:, j, :] = (diff * diff).sum(axis=2)
+        return tables
+
+    def adc_distances(self, table: np.ndarray, codes: np.ndarray, metric: str) -> np.ndarray:
+        """Approximate distances of coded candidates to one query.
+
+        ``table`` is that query's (m, ksub) slice of :meth:`adc_tables`;
+        ``codes`` is (C, m).  Returns (C,) distances.
+        """
+        looked_up = table[np.arange(self.m)[None, :], codes]
+        total = looked_up.sum(axis=1)
+        if metric == "l2":
+            return np.sqrt(np.maximum(total, 0.0))
+        return total
+
+    def state_arrays(self) -> np.ndarray:
+        """The (m, ksub, dsub) codebook tensor for snapshotting."""
+        if not self.is_trained:
+            raise RuntimeError("cannot snapshot an untrained quantizer")
+        return self.codebooks
+
+
+class IVFPQIndex:
+    """IVF cells + PQ codes: compressed approximate nearest neighbors.
+
+    Identical probe logic to :class:`~repro.index.ivf.IVFFlatIndex`,
+    but cell members are stored as ``m``-byte PQ codes and ranked by
+    ADC lookups, cutting per-vector storage from ``dim * 8 + 8`` bytes
+    to ``m + 8``.
+    """
+
+    kind = "ivfpq"
+
+    def __init__(
+        self,
+        dim: int,
+        nlist: int = 64,
+        nprobe: int = 8,
+        m: int = 8,
+        ksub: int = 16,
+        metric: str = "l2",
+        seed: int = 0,
+        kmeans_iters: int = 25,
+        registry=None,
+    ) -> None:
+        if metric not in METRICS:
+            raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+        if nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if not 1 <= nprobe <= nlist:
+            raise ValueError("nprobe must be in [1, nlist]")
+        self.dim = dim
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.metric = metric
+        self.seed = seed
+        self.kmeans_iters = kmeans_iters
+        self.pq = ProductQuantizer(
+            dim, m=m, ksub=ksub, seed=seed, iters=kmeans_iters
+        )
+        if registry is None:
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics = registry
+        self._queries_c = registry.counter(
+            "index.search.queries", help="Search queries answered"
+        )
+        self._search_dc = registry.counter(
+            "index.search.distance_computations",
+            help="Full-vector-equivalent distances evaluated during search",
+        )
+        self._build_dc = registry.counter(
+            "index.build.distance_computations",
+            help="Distances evaluated while training/adding",
+        )
+        self._size_g = registry.gauge(
+            "index.size", help="Vectors currently indexed"
+        )
+        self.centroids: Optional[np.ndarray] = None
+        self._list_codes: List[np.ndarray] = []
+        self._list_ids: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        """Whether both the coarse quantizer and PQ codebooks exist."""
+        return self.centroids is not None and self.pq.is_trained
+
+    @property
+    def ntotal(self) -> int:
+        """Number of vectors across all inverted lists."""
+        return int(sum(len(ids) for ids in self._list_ids))
+
+    @property
+    def bytes_per_vector(self) -> float:
+        """Storage cost per vector (``m`` code bytes + int64 id)."""
+        return self.pq.m + 8
+
+    def train(self, vectors: np.ndarray) -> None:
+        """Fit the coarse quantizer and the PQ codebooks."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (N, {self.dim}) vectors, got {vectors.shape}"
+            )
+        if len(vectors) < self.nlist:
+            raise ValueError(
+                f"nlist={self.nlist} exceeds the {len(vectors)} training vectors"
+            )
+        result = kmeans(
+            vectors,
+            self.nlist,
+            metric=self.metric,
+            iters=self.kmeans_iters,
+            seed=self.seed,
+        )
+        self._build_dc.inc(result.iterations * len(vectors) * self.nlist)
+        self.centroids = result.centroids
+        self.pq.train(vectors)
+        self._build_dc.inc(len(vectors) * self.pq.ksub)
+        self._list_codes = [
+            np.empty((0, self.pq.m), dtype=np.uint8) for _ in range(self.nlist)
+        ]
+        self._list_ids = [
+            np.empty(0, dtype=np.int64) for _ in range(self.nlist)
+        ]
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> None:
+        """Encode ``vectors`` and file them under their nearest cell."""
+        if not self.is_trained:
+            raise RuntimeError("train() the index before add()")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (N, {self.dim}) vectors, got {vectors.shape}"
+            )
+        if ids is None:
+            ids = np.arange(
+                self.ntotal, self.ntotal + len(vectors), dtype=np.int64
+            )
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (len(vectors),):
+                raise ValueError("ids must be one id per vector")
+        cells = np.argmin(
+            pairwise_distances(vectors, self.centroids, self.metric), axis=1
+        )
+        self._build_dc.inc(len(vectors) * self.nlist)
+        codes = self.pq.encode(vectors)
+        for cell in np.unique(cells):
+            members = cells == cell
+            self._list_codes[cell] = np.concatenate(
+                [self._list_codes[cell], codes[members]], axis=0
+            )
+            self._list_ids[cell] = np.concatenate(
+                [self._list_ids[cell], ids[members]]
+            )
+        self._size_g.set(self.ntotal)
+
+    def build(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> None:
+        """Train on ``vectors`` and add them — the common one-shot path."""
+        self.train(vectors)
+        self.add(vectors, ids)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate ``(distances, ids)`` via ADC over probed cells.
+
+        Work accounting: probing costs ``nlist`` distances per query,
+        the ADC table costs ``ksub`` full-vector equivalents (its
+        ``m * ksub`` subspace entries sum to that), and each scanned
+        candidate costs one lookup-sum.
+        """
+        if not self.is_trained:
+            raise RuntimeError("train() the index before search()")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (Q, {self.dim}) queries, got {queries.shape}"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        if not 1 <= nprobe <= self.nlist:
+            raise ValueError("nprobe must be in [1, nlist]")
+        n_q = len(queries)
+        self._queries_c.inc(n_q)
+        centroid_d = pairwise_distances(queries, self.centroids, self.metric)
+        self._search_dc.inc(n_q * self.nlist)
+        cell_ids = np.broadcast_to(
+            np.arange(self.nlist, dtype=np.int64), centroid_d.shape
+        )
+        _, probes = batch_top_k(centroid_d, cell_ids, nprobe)
+        tables = self.pq.adc_tables(queries, self.metric)
+        self._search_dc.inc(n_q * self.pq.ksub)
+        out_d = np.full((n_q, k), np.inf)
+        out_i = np.full((n_q, k), -1, dtype=np.int64)
+        for row, row_probes in enumerate(probes):
+            codes = np.concatenate(
+                [self._list_codes[c] for c in row_probes], axis=0
+            )
+            ids = np.concatenate([self._list_ids[c] for c in row_probes])
+            if not len(ids):
+                continue
+            distances = self.pq.adc_distances(tables[row], codes, self.metric)
+            self._search_dc.inc(len(ids))
+            pad = max(0, k - len(ids))
+            if pad:
+                distances = np.pad(distances, (0, pad), constant_values=np.inf)
+                ids = np.pad(ids, (0, pad), constant_values=-1)
+            out_d[row], out_i[row] = batch_top_k(
+                distances[None, :], ids[None, :], k
+            )
+        return out_d, out_i
+
+    # ------------------------------------------------------------------
+    # Snapshot surface (see repro.index.snapshot)
+    # ------------------------------------------------------------------
+    def state(self):
+        """``(arrays, meta)`` capturing the index for serialization."""
+        if not self.is_trained:
+            raise RuntimeError("cannot snapshot an untrained index")
+        offsets = np.zeros(self.nlist + 1, dtype=np.int64)
+        for cell in range(self.nlist):
+            offsets[cell + 1] = offsets[cell] + len(self._list_ids[cell])
+        arrays = {
+            "centroids": self.centroids,
+            "codebooks": self.pq.state_arrays(),
+            "codes": (
+                np.concatenate(self._list_codes, axis=0)
+                if self.ntotal
+                else np.empty((0, self.pq.m), dtype=np.uint8)
+            ),
+            "ids": (
+                np.concatenate(self._list_ids)
+                if self.ntotal
+                else np.empty(0, dtype=np.int64)
+            ),
+            "offsets": offsets,
+        }
+        meta = {
+            "kind": self.kind,
+            "dim": self.dim,
+            "metric": self.metric,
+            "nlist": self.nlist,
+            "nprobe": self.nprobe,
+            "m": self.pq.m,
+            "ksub": self.pq.ksub,
+            "seed": self.seed,
+            "kmeans_iters": self.kmeans_iters,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(cls, arrays, meta, registry=None) -> "IVFPQIndex":
+        """Rebuild an index captured by :meth:`state`."""
+        index = cls(
+            dim=int(meta["dim"]),
+            nlist=int(meta["nlist"]),
+            nprobe=int(meta["nprobe"]),
+            m=int(meta["m"]),
+            ksub=int(meta["ksub"]),
+            metric=str(meta["metric"]),
+            seed=int(meta["seed"]),
+            kmeans_iters=int(meta["kmeans_iters"]),
+            registry=registry,
+        )
+        index.centroids = np.asarray(arrays["centroids"], dtype=np.float64)
+        index.pq.codebooks = np.asarray(arrays["codebooks"], dtype=np.float64)
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        codes = np.asarray(arrays["codes"], dtype=np.uint8)
+        ids = np.asarray(arrays["ids"], dtype=np.int64)
+        index._list_codes = [
+            codes[offsets[c] : offsets[c + 1]] for c in range(index.nlist)
+        ]
+        index._list_ids = [
+            ids[offsets[c] : offsets[c + 1]] for c in range(index.nlist)
+        ]
+        index._size_g.set(index.ntotal)
+        return index

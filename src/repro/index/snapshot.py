@@ -1,0 +1,108 @@
+"""Checksummed atomic index snapshots.
+
+An index snapshot is two files, written in the same discipline as
+:mod:`repro.reliability.checkpoint` (payload first, manifest strictly
+after, both via tmp → fsync → ``os.replace``)::
+
+    <path>.npz    arrays (compressed, atomic)
+    <path>.json   manifest: payload SHA-256 + index meta + schema
+
+Load verifies the manifest's checksum against the payload on disk and
+raises :class:`IndexSnapshotError` on any mismatch, torn pair, or
+unknown index kind — a corrupt snapshot is refused, never half-loaded.
+
+Because every index builds deterministically from ``(vectors, seed)``
+and ``np.savez_compressed`` is byte-stable, two same-seed builds
+produce *byte-identical* payloads and manifests; ``tools/check.sh``
+gates on exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..reliability.checkpoint import atomic_save_npz, atomic_write_json, sha256_of_file
+from .flat import FlatIndex
+from .ivf import IVFFlatIndex
+from .pq import IVFPQIndex
+
+#: Index classes by their ``kind`` tag, for load-time dispatch.
+INDEX_KINDS = {
+    FlatIndex.kind: FlatIndex,
+    IVFFlatIndex.kind: IVFFlatIndex,
+    IVFPQIndex.kind: IVFPQIndex,
+}
+
+SNAPSHOT_VERSION = 1
+
+
+class IndexSnapshotError(RuntimeError):
+    """An index snapshot is missing, torn, corrupt, or unrecognized."""
+
+
+def _paths(path: Union[str, Path]):
+    path = Path(path)
+    return path.with_suffix(".npz"), path.with_suffix(".json")
+
+
+def save_index(index, path: Union[str, Path]) -> Path:
+    """Snapshot ``index`` to ``<path>.npz`` + ``<path>.json``.
+
+    Returns the manifest path.  The payload lands before the manifest,
+    so a crash between the two leaves no manifest and the snapshot is
+    simply invisible to :func:`load_index`.
+    """
+    payload_path, manifest_path = _paths(path)
+    arrays, meta = index.state()
+    digest = atomic_save_npz(payload_path, arrays)
+    manifest = {
+        "version": SNAPSHOT_VERSION,
+        "kind": meta["kind"],
+        "meta": meta,
+        "payload": payload_path.name,
+        "payload_sha256": digest,
+        "arrays": {
+            name: {"shape": list(array.shape), "dtype": str(array.dtype)}
+            for name, array in arrays.items()
+        },
+        "ntotal": index.ntotal,
+    }
+    atomic_write_json(manifest_path, manifest)
+    return manifest_path
+
+
+def load_index(path: Union[str, Path], registry=None):
+    """Load a snapshot written by :func:`save_index`, verifying it.
+
+    Raises :class:`IndexSnapshotError` if either file is missing, the
+    payload fails its manifest checksum, or the manifest names an
+    unknown index kind.
+    """
+    payload_path, manifest_path = _paths(path)
+    if not manifest_path.exists():
+        raise IndexSnapshotError(f"missing manifest: {manifest_path}")
+    if not payload_path.exists():
+        raise IndexSnapshotError(f"missing payload: {payload_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise IndexSnapshotError(f"unreadable manifest: {error}") from error
+    digest = sha256_of_file(payload_path)
+    expected = manifest.get("payload_sha256")
+    if digest != expected:
+        raise IndexSnapshotError(
+            f"checksum mismatch for {payload_path}: "
+            f"manifest says {expected}, payload is {digest}"
+        )
+    kind = manifest.get("kind")
+    if kind not in INDEX_KINDS:
+        raise IndexSnapshotError(f"unknown index kind: {kind!r}")
+    with np.load(payload_path) as payload:
+        arrays = {name: payload[name] for name in payload.files}
+    return INDEX_KINDS[kind].from_state(
+        arrays, manifest["meta"], registry=registry
+    )

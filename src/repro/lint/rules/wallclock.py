@@ -17,7 +17,9 @@ only:
 
 Reading the virtual clock (``clock.now()``) is the sanctioned
 alternative; code that genuinely needs wall time (none today) belongs
-outside ``src/repro/reliability/`` and ``src/repro/obs/``.
+outside ``src/repro/reliability/``, ``src/repro/obs/``, and
+``src/repro/index/`` (the retrieval subsystem promises byte-identical
+same-seed builds, so it is wall-clock-free by the same contract).
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ class WallClockInReliabilityRule(Rule):
         self.scoped_paths: Tuple[str, ...] = (
             "repro/reliability/",
             "repro/obs/",
+            "repro/index/",
         )
         #: ``time``-module attribute names treated as wall-clock reads.
         self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))

@@ -58,6 +58,7 @@ from .gateway import (
     GatewayStats,
     LatencyModel,
     PKGMGateway,
+    RetrievalPayload,
     TimedBackend,
     build_replicas,
 )
@@ -103,6 +104,7 @@ __all__ = [
     "LoadTestConfig",
     "LoadTestReport",
     "PKGMGateway",
+    "RetrievalPayload",
     "PROFILES",
     "RPCError",
     "ResilientPKGMServer",

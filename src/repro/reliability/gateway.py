@@ -149,6 +149,41 @@ class TimedBackend:
             return None, latency, "unknown-id"
         return vectors, latency, None
 
+    def retrieve_timed(
+        self,
+        entity_id: int,
+        relation: int,
+        k: int,
+        budget: Optional[float] = None,
+    ) -> Tuple[Optional["RetrievalPayload"], float, Optional[str]]:
+        """``(payload, virtual_latency, reason)`` for one tail search.
+
+        Same timing/cancellation envelope as :meth:`serve_timed`; the
+        server must expose ``nearest_tails`` (``PKGMServer`` and the
+        cached facade both do).
+        """
+        self.calls += 1
+        latency = self.latency.sample()
+        if budget is not None and latency >= budget:
+            self.cancelled += 1
+            return None, budget, "deadline"
+        try:
+            distances, neighbor_ids = self.server.nearest_tails(
+                entity_id, relation, k
+            )
+        except RPCError:
+            return None, latency, "rpc-error"
+        except (KeyError, IndexError):
+            return None, latency, "unknown-id"
+        payload = RetrievalPayload(
+            entity_id=entity_id,
+            relation=relation,
+            k=k,
+            distances=distances,
+            neighbor_ids=neighbor_ids,
+        )
+        return payload, latency, None
+
     def swap(self, server) -> None:
         """Install a refreshed snapshot on this replica.
 
@@ -185,22 +220,53 @@ class GatewayConfig:
 
 @dataclass(frozen=True)
 class GatewayRequest:
-    """One admitted request and its timing envelope."""
+    """One admitted request and its timing envelope.
+
+    ``kind`` selects the backend call: ``"serve"`` (service vectors,
+    the default) or ``"retrieve"`` (nearest-tail search, with
+    ``relation``/``k`` as the query payload).
+    """
 
     request_id: int
     entity_id: int
     priority: int
     arrival: float
     deadline_at: float
+    kind: str = "serve"
+    relation: int = -1
+    k: int = 0
+
+
+@dataclass(frozen=True)
+class RetrievalPayload:
+    """Answer body for one ``"retrieve"`` request.
+
+    ``distances``/``neighbor_ids`` are the (k,) nearest-tail search
+    results for ``S_T(entity_id, relation)``; a ``degraded`` payload
+    (shed, deadline, backend error) carries ``(inf, -1)`` padding
+    instead of real neighbors, mirroring ``ServiceVectors.degraded``.
+    """
+
+    entity_id: int
+    relation: int
+    k: int
+    distances: np.ndarray
+    neighbor_ids: np.ndarray
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
 class GatewayResponse:
-    """The answer for one request — exactly one per submitted request."""
+    """The answer for one request — exactly one per submitted request.
+
+    ``vectors`` is a :class:`ServiceVectors` for ``"serve"`` requests
+    and a :class:`RetrievalPayload` for ``"retrieve"`` requests; both
+    expose ``degraded``, which is all :attr:`ok` needs.
+    """
 
     request_id: int
     entity_id: int
-    vectors: ServiceVectors
+    vectors: "ServiceVectors | RetrievalPayload"
     reason: Optional[str]  # None (ok) or why the answer is degraded
     latency: float  # virtual queue wait + service time
     completed_at: float
@@ -250,6 +316,9 @@ class GatewayStats:
     )
     drains = counter_view("gateway.drains", help="Drain cycles")
     swaps = counter_view("gateway.swaps", help="Snapshot swaps")
+    retrievals = counter_view(
+        "gateway.retrievals", help="Nearest-tail retrieval requests"
+    )
 
     def __init__(
         self,
@@ -268,6 +337,7 @@ class GatewayStats:
         hedge_cancelled: int = 0,
         drains: int = 0,
         swaps: int = 0,
+        retrievals: int = 0,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -286,6 +356,7 @@ class GatewayStats:
         self.hedge_cancelled = hedge_cancelled
         self.drains = drains
         self.swaps = swaps
+        self.retrievals = retrievals
 
     @property
     def shed(self) -> int:
@@ -423,6 +494,45 @@ class PKGMGateway:
             deadline_at=now + self.config.deadline_budget,
         )
         self._next_id += 1
+        return self._offer(request, now)
+
+    def submit_retrieval(
+        self,
+        entity_id: int,
+        relation: int,
+        k: int = 10,
+        priority: int = 0,
+    ) -> Optional[GatewayResponse]:
+        """Offer one nearest-tails query at the current virtual time.
+
+        Identical admission, deadline, and drain treatment as
+        :meth:`submit` — a shed or expired retrieval is answered with a
+        degraded :class:`RetrievalPayload` (``(inf, -1)`` neighbors),
+        never an exception.  Retrieval calls are not hedged: replicas
+        lazily build their own tail index, so duplicating a cold query
+        would double the most expensive call in the system.
+        """
+        now = self.clock.now()
+        self._advance(now)
+        self.stats.arrived += 1
+        self.stats.retrievals += 1
+        request = GatewayRequest(
+            request_id=self._next_id,
+            entity_id=int(entity_id),
+            priority=int(priority),
+            arrival=now,
+            deadline_at=now + self.config.deadline_budget,
+            kind="retrieve",
+            relation=int(relation),
+            k=int(k),
+        )
+        self._next_id += 1
+        return self._offer(request, now)
+
+    def _offer(
+        self, request: GatewayRequest, now: float
+    ) -> Optional[GatewayResponse]:
+        """Shared admission flow for both request kinds."""
         if self.state != SERVING:
             self.stats.shed_draining += 1
             return self._shed_response(request, "draining", now)
@@ -528,7 +638,14 @@ class PKGMGateway:
             )
             self._schedule(at, response, overloaded=True)
             return
-        outcome = self._call_backend(request, budget=request.deadline_at - at)
+        if request.kind == "retrieve":
+            outcome = self._call_retrieval(
+                request, budget=request.deadline_at - at
+            )
+        else:
+            outcome = self._call_backend(
+                request, budget=request.deadline_at - at
+            )
         completed_at = at + outcome.latency
         if outcome.reason == "deadline":
             self.stats.deadline_backend_misses += 1
@@ -573,6 +690,17 @@ class PKGMGateway:
             _Completion(at=at, seq=self._seq, response=response, overloaded=overloaded),
         )
         self._seq += 1
+
+    def _call_retrieval(
+        self, request: GatewayRequest, budget: float
+    ) -> BackendOutcome:
+        """One unhedged nearest-tails call on the round-robin primary."""
+        primary = self.replicas[self._rr % len(self.replicas)]
+        self._rr += 1
+        payload, latency, reason = primary.retrieve_timed(
+            request.entity_id, request.relation, request.k, budget=budget
+        )
+        return BackendOutcome(payload, latency, reason)
 
     def _call_backend(self, request: GatewayRequest, budget: float) -> BackendOutcome:
         """One possibly-hedged call: first answer wins, loser is cancelled."""
@@ -627,8 +755,17 @@ class PKGMGateway:
     # ------------------------------------------------------------------
     # Degraded answers
     # ------------------------------------------------------------------
-    def _fallback(self, entity_id: int) -> ServiceVectors:
-        return fallback_payload(entity_id, self.k, self.dim)
+    def _fallback(self, request: GatewayRequest):
+        if request.kind == "retrieve":
+            return RetrievalPayload(
+                entity_id=request.entity_id,
+                relation=request.relation,
+                k=request.k,
+                distances=np.full(request.k, np.inf),
+                neighbor_ids=np.full(request.k, -1, dtype=np.int64),
+                degraded=True,
+            )
+        return fallback_payload(request.entity_id, self.k, self.dim)
 
     def _shed_response(
         self, request: GatewayRequest, reason: str, now: float
@@ -636,7 +773,7 @@ class PKGMGateway:
         return GatewayResponse(
             request_id=request.request_id,
             entity_id=request.entity_id,
-            vectors=self._fallback(request.entity_id),
+            vectors=self._fallback(request),
             reason=reason,
             latency=max(0.0, now - request.arrival),
             completed_at=now,
@@ -653,7 +790,7 @@ class PKGMGateway:
         return GatewayResponse(
             request_id=request.request_id,
             entity_id=request.entity_id,
-            vectors=self._fallback(request.entity_id),
+            vectors=self._fallback(request),
             reason=reason,
             latency=completed_at - request.arrival,
             completed_at=completed_at,

@@ -66,6 +66,45 @@ class TestCategoryPurity:
         row = knn_category_purity(workbench.pkgm, workbench.catalog, k=2).as_row()
         assert "purity" in row
 
+    @pytest.mark.parametrize("k", [1, 5, 10])
+    def test_blocked_scan_matches_full_matrix(self, workbench, k):
+        """The FlatIndex rewrite must return *bit-identical* purity to
+        the old dense-matrix path it replaced."""
+        embeddings, categories = item_embedding_matrix(
+            workbench.pkgm, workbench.catalog
+        )
+        n = len(embeddings)
+        if n > 500:
+            rng = np.random.default_rng(0)
+            index = rng.choice(n, size=500, replace=False)
+            queries, query_cats = embeddings[index], categories[index]
+        else:
+            queries, query_cats = embeddings, categories
+        distances = np.abs(
+            queries[:, None, :] - embeddings[None, :, :]
+        ).sum(axis=2)
+        purity_total = 0.0
+        for i in range(len(queries)):
+            row = distances[i]
+            keep = row > 1e-12  # drop self-matches and exact duplicates
+            order = np.lexsort((np.arange(n)[keep], row[keep]))[:k]
+            neighbors = np.arange(n)[keep][order]
+            if not len(neighbors):
+                continue
+            purity_total += np.mean(categories[neighbors] == query_cats[i])
+        expected = purity_total / len(queries)
+        report = knn_category_purity(workbench.pkgm, workbench.catalog, k=k)
+        assert report.purity == expected
+
+    def test_block_size_does_not_change_purity(self, workbench):
+        reports = [
+            knn_category_purity(
+                workbench.pkgm, workbench.catalog, k=5, block_size=size
+            )
+            for size in (16, 256, 100_000)
+        ]
+        assert all(r.purity == reports[0].purity for r in reports)
+
 
 class TestSiblingSeparation:
     def test_siblings_closer_than_random(self, workbench):

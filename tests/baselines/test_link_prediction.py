@@ -160,3 +160,64 @@ class TestEndToEnd:
             trained, split.test, [split.train, split.valid, split.test]
         )
         assert after.mrr > max(before.mrr * 2, 0.15)
+
+
+class TestANNEvaluation:
+    @pytest.fixture(scope="class")
+    def transe(self):
+        rng = np.random.default_rng(3)
+        model = make_scorer("transe", 120, 4, 16, rng=np.random.default_rng(2))
+        triples = [
+            (int(rng.integers(0, 120)), int(rng.integers(0, 4)), int(rng.integers(0, 120)))
+            for _ in range(25)
+        ]
+        return model, TripleStore(triples)
+
+    def test_flat_index_has_perfect_recall(self, transe):
+        from repro.baselines import evaluate_link_prediction_ann
+
+        model, test = transe
+        result = evaluate_link_prediction_ann(model, test, k=5, index_kind="flat")
+        assert result.recall_at_k == 1.0
+        assert result.num_queries == len(test.to_array())
+        assert result.exact_distance_computations == result.num_queries * 120
+
+    def test_ivf_trades_recall_for_savings(self, transe):
+        from repro.baselines import evaluate_link_prediction_ann
+
+        model, test = transe
+        result = evaluate_link_prediction_ann(
+            model, test, k=5, index_kind="ivf",
+            index_params={"nlist": 8, "nprobe": 4, "seed": 0},
+        )
+        assert 0.0 <= result.recall_at_k <= 1.0
+        assert result.saving > 1.0
+        assert "recall@5" in result.as_row("ivf")
+
+    def test_prebuilt_index_is_used(self, transe):
+        from repro.baselines import evaluate_link_prediction_ann
+        from repro.index import FlatIndex
+
+        model, test = transe
+        index = FlatIndex(model.dim, metric="l1")
+        index.add(model.entities.weight.data)
+        result = evaluate_link_prediction_ann(model, test, k=3, index=index)
+        assert result.recall_at_k == 1.0
+        assert index.metrics.counter("index.search.queries").value > 0
+
+    def test_non_transe_rejected(self, transe):
+        from repro.baselines import evaluate_link_prediction_ann
+
+        _, test = transe
+        oracle = OracleModel([], num_entities=120)
+        with pytest.raises(TypeError, match="TransE"):
+            evaluate_link_prediction_ann(oracle, test, k=5)
+
+    def test_max_queries_subsamples(self, transe):
+        from repro.baselines import evaluate_link_prediction_ann
+
+        model, test = transe
+        result = evaluate_link_prediction_ann(
+            model, test, k=5, index_kind="flat", max_queries=7
+        )
+        assert result.num_queries == 7

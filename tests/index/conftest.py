@@ -1,0 +1,55 @@
+"""Shared fixtures for the retrieval-index suite.
+
+The *clustered catalog* models the geometry retrieval serves in
+production: item embeddings concentrated around category centroids
+(the mechanism :mod:`repro.analysis.embeddings` measures).  Queries
+are fresh draws from the same mixture — held-out "inferred tails".
+"""
+
+import numpy as np
+import pytest
+
+DIM = 16
+N_BASE = 1200
+N_QUERIES = 32
+N_CLUSTERS = 24
+
+
+@pytest.fixture(scope="session")
+def clustered_catalog():
+    """(base_vectors, query_vectors): a seeded category-clustered table."""
+    rng = np.random.default_rng(42)
+    centers = rng.normal(size=(N_CLUSTERS, DIM))
+    base = (
+        centers[rng.integers(0, N_CLUSTERS, size=N_BASE)]
+        + 0.35 * rng.normal(size=(N_BASE, DIM))
+    )
+    queries = (
+        centers[rng.integers(0, N_CLUSTERS, size=N_QUERIES)]
+        + 0.35 * rng.normal(size=(N_QUERIES, DIM))
+    )
+    return base, queries
+
+
+@pytest.fixture(scope="session")
+def small_server():
+    """An untrained smoke-scale PKGMServer (weights are seed-determined)."""
+    from repro.config import smoke_config
+    from repro.core import KeyRelationSelector, PKGM, PKGMServer
+    from repro.data import generate_catalog
+
+    config = smoke_config()
+    catalog = generate_catalog(config.catalog)
+    item_to_category = {
+        item.entity_id: item.category_id for item in catalog.items
+    }
+    selector = KeyRelationSelector(
+        catalog.store, item_to_category, k=config.key_relations
+    )
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        config.pkgm,
+        rng=np.random.default_rng(config.seed),
+    )
+    return PKGMServer(model, selector)

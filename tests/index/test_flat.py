@@ -1,0 +1,125 @@
+"""FlatIndex: exactness, blocking invariance, deterministic ties."""
+
+import numpy as np
+import pytest
+
+from repro.index import FlatIndex, batch_top_k, pairwise_distances, top_k
+
+
+def naive_top_k(queries, base, ids, metric, k):
+    """Reference top-k: full matrix + per-row (distance, id) lexsort."""
+    distances = pairwise_distances(queries, base, metric)
+    out_d = np.full((len(queries), k), np.inf)
+    out_i = np.full((len(queries), k), -1, dtype=np.int64)
+    for row in range(len(queries)):
+        order = np.lexsort((ids, distances[row]))[:k]
+        out_d[row, : len(order)] = distances[row][order]
+        out_i[row, : len(order)] = ids[order]
+    return out_d, out_i
+
+
+class TestPairwiseDistances:
+    def test_l1_matches_definition(self):
+        rng = np.random.default_rng(0)
+        q, b = rng.normal(size=(3, 5)), rng.normal(size=(7, 5))
+        expected = np.abs(q[:, None, :] - b[None, :, :]).sum(axis=2)
+        assert np.array_equal(pairwise_distances(q, b, "l1"), expected)
+
+    def test_l2_matches_norm(self):
+        rng = np.random.default_rng(1)
+        q, b = rng.normal(size=(3, 5)), rng.normal(size=(7, 5))
+        expected = np.linalg.norm(q[:, None, :] - b[None, :, :], axis=2)
+        assert np.allclose(pairwise_distances(q, b, "l2"), expected)
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            pairwise_distances(np.zeros((1, 2)), np.zeros((1, 2)), "cosine")
+
+
+class TestTopK:
+    def test_ties_break_by_id(self):
+        distances = np.asarray([2.0, 1.0, 1.0, 3.0])
+        ids = np.asarray([10, 7, 3, 1], dtype=np.int64)
+        d, i = top_k(distances, ids, 3)
+        assert list(i) == [3, 7, 10]
+        assert list(d) == [1.0, 1.0, 2.0]
+
+    def test_pads_when_short(self):
+        d, i = top_k(np.asarray([5.0]), np.asarray([2], dtype=np.int64), 3)
+        assert list(i) == [2, -1, -1]
+        assert d[0] == 5.0 and np.isinf(d[1]) and np.isinf(d[2])
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(3)
+        distances = rng.integers(0, 5, size=(6, 20)).astype(np.float64)
+        ids = np.broadcast_to(
+            rng.permutation(20).astype(np.int64), (6, 20)
+        ).copy()
+        bd, bi = batch_top_k(distances, ids, 7)
+        for row in range(6):
+            sd, si = top_k(distances[row], ids[row], 7)
+            assert np.array_equal(bd[row], sd)
+            assert np.array_equal(bi[row], si)
+
+
+class TestFlatIndex:
+    @pytest.mark.parametrize("metric", ["l1", "l2"])
+    def test_exact_against_reference(self, clustered_catalog, metric):
+        base, queries = clustered_catalog
+        index = FlatIndex(base.shape[1], metric=metric, block_size=100)
+        index.add(base)
+        d, i = index.search(queries, 10)
+        ids = np.arange(len(base), dtype=np.int64)
+        ref_d, ref_i = naive_top_k(queries, base, ids, metric, 10)
+        assert np.array_equal(i, ref_i)
+        assert np.array_equal(d, ref_d)
+
+    def test_block_size_does_not_change_results(self, clustered_catalog):
+        base, queries = clustered_catalog
+        results = []
+        for block_size in (1, 37, 512, 10_000):
+            index = FlatIndex(base.shape[1], block_size=block_size)
+            index.add(base)
+            results.append(index.search(queries, 5))
+        for d, i in results[1:]:
+            assert np.array_equal(d, results[0][0])
+            assert np.array_equal(i, results[0][1])
+
+    def test_counts_queries_and_distances(self, clustered_catalog):
+        base, queries = clustered_catalog
+        index = FlatIndex(base.shape[1], block_size=128)
+        index.add(base)
+        index.search(queries, 3)
+        snap = index.metrics.snapshot()
+        assert snap["index.search.queries"] == len(queries)
+        assert snap["index.search.distance_computations"] == len(queries) * len(base)
+        assert snap["index.size"] == len(base)
+
+    def test_custom_ids_are_returned(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=(20, 4))
+        ids = (np.arange(20, dtype=np.int64) * 3) + 100
+        index = FlatIndex(4)
+        index.add(base, ids)
+        _, i = index.search(base[:2], 1)
+        assert list(i[:, 0]) == [100, 103]
+
+    def test_pads_small_tables(self):
+        index = FlatIndex(3)
+        index.add(np.zeros((2, 3)))
+        d, i = index.search(np.zeros((1, 3)), 5)
+        assert list(i[0]) == [0, 1, -1, -1, -1]
+        assert np.isinf(d[0][2:]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dim"):
+            FlatIndex(0)
+        with pytest.raises(ValueError, match="metric"):
+            FlatIndex(4, metric="cosine")
+        index = FlatIndex(4)
+        with pytest.raises(ValueError, match="expected"):
+            index.add(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="ids"):
+            index.add(np.zeros((3, 4)), np.arange(2))
+        with pytest.raises(ValueError, match="k"):
+            index.search(np.zeros((1, 4)), 0)

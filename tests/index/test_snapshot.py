@@ -1,0 +1,107 @@
+"""Snapshot roundtrips, byte-determinism, and corruption refusal."""
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    FlatIndex,
+    IVFFlatIndex,
+    IVFPQIndex,
+    IndexSnapshotError,
+    load_index,
+    save_index,
+)
+
+K = 5
+
+
+def build(kind, base):
+    dim = base.shape[1]
+    if kind == "flat":
+        index = FlatIndex(dim, metric="l1")
+        index.add(base)
+    elif kind == "ivf":
+        index = IVFFlatIndex(dim, nlist=16, nprobe=4, metric="l1")
+        index.build(base)
+    else:
+        index = IVFPQIndex(dim, nlist=16, nprobe=4, m=8, ksub=16, metric="l1")
+        index.build(base)
+    return index
+
+
+@pytest.mark.parametrize("kind", ["flat", "ivf", "ivfpq"])
+class TestRoundtrip:
+    def test_search_results_survive_reload(
+        self, tmp_path, clustered_catalog, kind
+    ):
+        base, queries = clustered_catalog
+        index = build(kind, base)
+        manifest = save_index(index, tmp_path / "idx")
+        assert manifest.exists()
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.kind == kind
+        assert loaded.ntotal == index.ntotal
+        d0, i0 = index.search(queries, K)
+        d1, i1 = loaded.search(queries, K)
+        assert np.array_equal(d0, d1)
+        assert np.array_equal(i0, i1)
+
+    def test_same_seed_snapshots_are_byte_identical(
+        self, tmp_path, clustered_catalog, kind
+    ):
+        """Two independent same-seed builds must write identical bytes —
+        the property tools/check.sh gates on.  The payload basename is
+        embedded in the manifest, so both runs use the same one."""
+        base, _ = clustered_catalog
+        for run in ("r1", "r2"):
+            (tmp_path / run).mkdir()
+            save_index(build(kind, base), tmp_path / run / "idx")
+        for suffix in (".npz", ".json"):
+            a = (tmp_path / "r1" / "idx").with_suffix(suffix).read_bytes()
+            b = (tmp_path / "r2" / "idx").with_suffix(suffix).read_bytes()
+            assert a == b, f"{kind}{suffix} differs between same-seed builds"
+
+
+class TestRefusal:
+    @pytest.fixture()
+    def saved(self, tmp_path, clustered_catalog):
+        base, _ = clustered_catalog
+        save_index(build("ivf", base), tmp_path / "idx")
+        return tmp_path / "idx"
+
+    def test_corrupted_payload_is_refused(self, saved):
+        payload = saved.with_suffix(".npz")
+        blob = bytearray(payload.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload.write_bytes(bytes(blob))
+        with pytest.raises(IndexSnapshotError, match="checksum"):
+            load_index(saved)
+
+    def test_missing_manifest_is_refused(self, saved):
+        saved.with_suffix(".json").unlink()
+        with pytest.raises(IndexSnapshotError, match="manifest"):
+            load_index(saved)
+
+    def test_missing_payload_is_refused(self, saved):
+        saved.with_suffix(".npz").unlink()
+        with pytest.raises(IndexSnapshotError, match="payload"):
+            load_index(saved)
+
+    def test_garbled_manifest_is_refused(self, saved):
+        saved.with_suffix(".json").write_text("{not json")
+        with pytest.raises(IndexSnapshotError, match="unreadable"):
+            load_index(saved)
+
+    def test_unknown_kind_is_refused(self, saved):
+        import json
+
+        manifest_path = saved.with_suffix(".json")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["kind"] = "hnsw"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IndexSnapshotError, match="unknown index kind"):
+            load_index(saved)
+
+    def test_nothing_saved_is_refused(self, tmp_path):
+        with pytest.raises(IndexSnapshotError, match="manifest"):
+            load_index(tmp_path / "never-written")

@@ -27,6 +27,16 @@ class TestScope:
         violations = lint_source(RULE, source, path="src/repro/obs/trace.py")
         assert len(violations) == 1
 
+    def test_flags_inside_index(self, lint_source):
+        source = """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """
+        violations = lint_source(RULE, source, path="src/repro/index/flat.py")
+        assert len(violations) == 1
+
     def test_scoped_paths_configurable(self, lint_source):
         source = """
             import time

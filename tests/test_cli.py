@@ -203,3 +203,68 @@ class TestLoadtest:
         out = capsys.readouterr().out
         assert "replica-0" in out
         assert "replica-1" in out
+
+
+class TestIndexCommand:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["index", "search"])
+        assert args.command == "index"
+        assert args.index_command == "search"
+        assert args.kind == "ivf"
+        assert args.metric == "l1"
+        assert args.k == 10
+        args = parser.parse_args(["index", "build", "--out", "x"])
+        assert args.out == "x"
+        with pytest.raises(SystemExit):  # build requires --out
+            parser.parse_args(["index", "build"])
+        with pytest.raises(SystemExit):  # a subcommand is required
+            parser.parse_args(["index"])
+
+    def test_build_writes_verified_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "idx"
+        argv = [
+            "index", "build", "--preset", "smoke",
+            "--kind", "ivf", "--nlist", "8", "--nprobe", "2",
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        assert out.with_suffix(".npz").exists()
+        assert out.with_suffix(".json").exists()
+        assert "ivf index:" in capsys.readouterr().out
+        from repro.index import load_index
+
+        index = load_index(out)
+        assert index.kind == "ivf" and index.ntotal > 0
+
+    def test_search_from_snapshot_matches_fresh_build(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "idx"
+        main([
+            "index", "build", "--preset", "smoke",
+            "--kind", "flat", "--out", str(out),
+        ])
+        capsys.readouterr()
+        argv = ["index", "search", "--preset", "smoke", "--kind", "flat"]
+        assert main(argv) == 0
+        fresh = capsys.readouterr().out
+        assert main(argv + ["--snapshot", str(out)]) == 0
+        from_snapshot = capsys.readouterr().out
+        assert fresh == from_snapshot
+        assert "S_T(" in fresh
+
+    def test_search_byte_identical_across_runs(self, capsys):
+        argv = ["index", "search", "--preset", "smoke", "--kind", "ivf"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_eval_reports_all_kinds(self, capsys):
+        argv = ["index", "eval", "--preset", "smoke", "--nlist", "8", "--nprobe", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "recall@10" in out
+        for kind in ("flat", "ivf", "ivfpq"):
+            assert f"{kind} | " in out

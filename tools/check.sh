@@ -43,6 +43,22 @@ diff "$OBS_TMP/trace1.json" "$OBS_TMP/trace2.json"
 echo "telemetry exports are byte-identical across reruns"
 
 echo
+echo "== index determinism (repro index, byte-diffed snapshots) =="
+# Two independent same-seed builds must write byte-identical snapshots
+# (payload .npz and manifest .json — the manifest embeds the payload
+# basename, so both runs use the same basename in different dirs),
+# and the search CLI must print byte-identical results across reruns.
+mkdir -p "$OBS_TMP/r1" "$OBS_TMP/r2"
+python -m repro.cli index build --preset smoke --kind ivf --out "$OBS_TMP/r1/idx" > /dev/null
+python -m repro.cli index build --preset smoke --kind ivf --out "$OBS_TMP/r2/idx" > /dev/null
+cmp "$OBS_TMP/r1/idx.npz" "$OBS_TMP/r2/idx.npz"
+cmp "$OBS_TMP/r1/idx.json" "$OBS_TMP/r2/idx.json"
+python -m repro.cli index search --preset smoke --kind ivf > "$OBS_TMP/search1.txt"
+python -m repro.cli index search --preset smoke --kind ivf > "$OBS_TMP/search2.txt"
+diff "$OBS_TMP/search1.txt" "$OBS_TMP/search2.txt"
+echo "index snapshots and search results are byte-identical across reruns"
+
+echo
 echo "== repro.lint =="
 LINT_FLAGS=()
 if [ "${REPRO_CHECK_STRICT:-0}" = "1" ]; then
