@@ -1,0 +1,103 @@
+"""Lint baseline: tolerate known violations, fail only on new ones.
+
+A baseline is a committed JSON file of violation fingerprints
+(``path`` + ``rule`` + ``message`` — deliberately no line numbers, so
+unrelated edits that shift lines do not churn it).  Running with
+``--baseline`` marks matching violations as ``baselined``: errors are
+demoted to warnings, and baselined warnings stop failing ``--strict``;
+everything stays visible in every report.  New violations — anything
+without a fingerprint budget — keep their severity and fail as usual.
+``--write-baseline`` regenerates the file from the current
+violations, which is also how the baseline ratchets down: fix a
+violation, rewrite, and the budget shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import LintResult
+from .violations import Severity, Violation
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]  # (path, rule, message)
+
+
+def _fingerprint(violation: Violation) -> Fingerprint:
+    return (violation.path, violation.rule, violation.message)
+
+
+class Baseline:
+    """A budget of tolerated violations, counted per fingerprint."""
+
+    def __init__(self, budgets: Dict[Fingerprint, int]) -> None:
+        self.budgets = dict(budgets)
+
+    def __len__(self) -> int:
+        return sum(self.budgets.values())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls({})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported format; regenerate it "
+                "with --write-baseline"
+            )
+        budgets: Dict[Fingerprint, int] = {}
+        for entry in data.get("entries", []):
+            key = (entry["path"], entry["rule"], entry["message"])
+            budgets[key] = budgets.get(key, 0) + int(entry.get("count", 1))
+        return cls(budgets)
+
+    def apply(self, result: LintResult) -> LintResult:
+        """Mark baselined violations as tolerated.
+
+        Matched errors are demoted to warnings and flagged
+        ``baselined``; matched warnings keep their severity but gain
+        the flag (so ``--strict`` ignores them).  Each fingerprint
+        tolerates at most its recorded count; occurrences beyond the
+        budget keep failing (the ratchet).
+        """
+        remaining = Counter(self.budgets)
+        adjusted: List[Violation] = []
+        for violation in result.violations:
+            key = _fingerprint(violation)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                violation = Violation(
+                    path=violation.path,
+                    line=violation.line,
+                    col=violation.col,
+                    rule=violation.rule,
+                    message=violation.message,
+                    severity=min(violation.severity, Severity.WARNING),
+                    baselined=True,
+                )
+            adjusted.append(violation)
+        adjusted.sort()
+        return LintResult(violations=adjusted, files_checked=result.files_checked)
+
+    @staticmethod
+    def write(path: Path, result: LintResult) -> int:
+        """Write the baseline tolerating every current violation."""
+        counts: Counter = Counter(
+            _fingerprint(v) for v in result.violations
+        )
+        entries = [
+            {"path": p, "rule": r, "message": m, "count": c}
+            for (p, r, m), c in sorted(counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return sum(counts.values())

@@ -25,6 +25,12 @@ EXCLUDED_DIRS = {
     "dist",
 }
 
+#: Marker file: a directory containing it is pruned during directory
+#: walks (used by the known-bad fixture corpora under tests/lint).
+#: Starting discovery *inside* such a directory still works — only
+#: markers strictly below the walked root apply.
+IGNORE_MARKER = ".repro-lint-ignore"
+
 
 @dataclass
 class ModuleContext:
@@ -57,31 +63,67 @@ class LintResult:
         return sum(1 for v in self.violations if v.severity == Severity.WARNING)
 
     def exit_code(self, strict: bool = False) -> int:
-        """0 when clean; 1 when errors (or, under strict, warnings) exist."""
+        """0 when clean; 1 when errors (or, under strict, warnings) exist.
+
+        Baselined violations never fail the run: they are tolerated
+        debt, visible in reports until the baseline ratchets down.
+        """
         if self.error_count:
             return 1
-        if strict and self.warning_count:
+        if strict and any(
+            v.severity == Severity.WARNING and not v.baselined
+            for v in self.violations
+        ):
             return 1
         return 0
 
 
+def _is_excluded(path: Path) -> bool:
+    """Whether ``path`` sits under an excluded/egg-info directory."""
+    if set(path.parts) & EXCLUDED_DIRS:
+        return True
+    return any(part.endswith(".egg-info") for part in path.parts)
+
+
+def _under_ignore_marker(candidate: Path, root: Path) -> bool:
+    """Whether an ancestor of ``candidate`` below ``root`` is marked."""
+    for ancestor in candidate.parents:
+        if ancestor == root:
+            return False
+        if (ancestor / IGNORE_MARKER).exists():
+            return True
+    return False
+
+
 def discover_files(paths: Sequence[Path]) -> List[Path]:
-    """Expand ``paths`` (files or directories) into sorted ``.py`` files."""
+    """Expand ``paths`` (files or directories) into sorted ``.py`` files.
+
+    All candidates — including files passed directly — go through the
+    same ``EXCLUDED_DIRS``/``.egg-info`` filters, and overlapping path
+    arguments (``src src/repro`` or relative/absolute spellings of the
+    same file) are deduplicated by resolved path.
+    """
     found: List[Path] = []
+    seen = set()
     for path in paths:
         if path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
-                parts = set(candidate.parts)
-                if parts & EXCLUDED_DIRS:
+                if _is_excluded(candidate) or _under_ignore_marker(candidate, path):
                     continue
-                if any(part.endswith(".egg-info") for part in candidate.parts):
-                    continue
-                found.append(candidate)
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    found.append(candidate)
         elif path.suffix == ".py":
-            found.append(path)
+            if _is_excluded(path):
+                continue
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                found.append(path)
         elif not path.exists():
             raise FileNotFoundError(f"no such file or directory: {path}")
-    return found
+    return sorted(found)
 
 
 class Linter:
@@ -100,7 +142,10 @@ class Linter:
     # ------------------------------------------------------------------
     def lint_paths(self, paths: Iterable[str]) -> LintResult:
         """Lint files/directories; returns the aggregated result."""
-        files = discover_files([Path(p) for p in paths])
+        return self.lint_files(discover_files([Path(p) for p in paths]))
+
+    def lint_files(self, files: Sequence[Path]) -> LintResult:
+        """Lint an explicit file list (already discovered/filtered)."""
         result = LintResult()
         for file_path in files:
             result.files_checked += 1

@@ -1,0 +1,41 @@
+"""Whole-program analysis engine for :mod:`repro.lint`.
+
+Where the per-file rules see one AST at a time, this package parses
+the full project once, builds a module/import graph, per-module symbol
+tables, and an approximate call graph (:mod:`~repro.lint.program.index`),
+and runs declarative passes over that structure
+(:mod:`~repro.lint.program.passes`): determinism taint into the
+bit-reproducible boundary, concurrency-safety for shared module state,
+and cross-module contract checks.  Per-file summaries are cached by
+content SHA-256 (:mod:`~repro.lint.program.cache`), so warm runs
+re-parse only changed files while producing byte-identical reports.
+
+Run it as ``repro lint --program <paths>``.
+"""
+
+from .cache import AnalysisCache
+from .engine import ProgramAnalyzer, ProgramStats
+from .index import ProgramIndex
+from .passes import (
+    ProgramPass,
+    create_passes,
+    get_pass_class,
+    pass_names,
+    register_pass,
+)
+from .summary import ModuleSummary, module_name_for, summarize_source
+
+__all__ = [
+    "AnalysisCache",
+    "ModuleSummary",
+    "ProgramAnalyzer",
+    "ProgramIndex",
+    "ProgramPass",
+    "ProgramStats",
+    "create_passes",
+    "get_pass_class",
+    "module_name_for",
+    "pass_names",
+    "register_pass",
+    "summarize_source",
+]

@@ -1,0 +1,80 @@
+"""Content-addressed cache of per-file analysis summaries.
+
+The cache is one JSON document mapping display paths to
+``{"sha256": ..., "summary": {...}}``.  A warm run re-parses only the
+files whose content hash changed; everything else is rebuilt from the
+stored summary, which is sufficient for every program pass (passes
+never touch ASTs).  Writes are atomic (tmp + ``os.replace``) and the
+document is sorted, so the cache file itself is deterministic for a
+given repository state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from .summary import ModuleSummary
+
+#: Bump when the summary schema changes; mismatched caches are ignored.
+CACHE_VERSION = 1
+
+
+class AnalysisCache:
+    """Sha256-keyed store of :class:`ModuleSummary` objects."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if isinstance(data, dict) and data.get("version") == CACHE_VERSION:
+                files = data.get("files")
+                if isinstance(files, dict):
+                    self._entries = files
+
+    def get(self, display_path: str, sha256: str) -> Optional[ModuleSummary]:
+        """The cached summary for a path, iff its content hash matches."""
+        entry = self._entries.get(display_path)
+        if entry is None or entry.get("sha256") != sha256:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, summary: ModuleSummary) -> None:
+        """Record a freshly computed summary."""
+        self._entries[summary.path] = {
+            "sha256": summary.sha256,
+            "summary": summary.to_dict(),
+        }
+
+    def save(self, keep_paths: Iterable[str]) -> None:
+        """Atomically persist entries for ``keep_paths`` (prunes the rest)."""
+        if self.path is None:
+            return
+        keep = set(keep_paths)
+        payload = {
+            "version": CACHE_VERSION,
+            "files": {
+                path: entry
+                for path, entry in sorted(self._entries.items())
+                if path in keep
+            },
+        }
+        text = json.dumps(payload, indent=None, sort_keys=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)

@@ -1,0 +1,117 @@
+"""The whole-program analyzer: files -> summaries -> index -> passes.
+
+:class:`ProgramAnalyzer` parallels the per-file
+:class:`~repro.lint.engine.Linter` but runs once over the full file
+set: every file is summarized (from the content-hash cache when
+unchanged), the summaries feed one :class:`ProgramIndex`, and each
+registered program pass walks the index yielding violations.  The
+resulting report depends only on file contents — cold and warm runs
+are byte-identical.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..engine import LintResult, discover_files
+from ..violations import Severity, Violation
+from .cache import AnalysisCache
+from .index import ProgramIndex
+from .passes import ProgramPass, create_passes
+from .summary import ModuleSummary, content_sha256, module_name_for, summarize_source
+
+
+@dataclass
+class ProgramStats:
+    """How much work the analyzer actually did (cache effectiveness)."""
+
+    files_total: int = 0
+    files_parsed: int = 0
+    files_cached: int = 0
+
+    def format(self) -> str:
+        return (
+            f"program analysis: {self.files_total} file(s), "
+            f"{self.files_parsed} parsed, {self.files_cached} from cache"
+        )
+
+
+class ProgramAnalyzer:
+    """Builds the project index and runs whole-program passes over it."""
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[ProgramPass]] = None,
+        root: Optional[Path] = None,
+        cache_path: Optional[Path] = None,
+    ) -> None:
+        self.passes: List[ProgramPass] = (
+            list(passes) if passes is not None else create_passes()
+        )
+        self.root = root if root is not None else Path.cwd()
+        self.cache_path = cache_path
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def analyze_paths(self, paths: Sequence[str]) -> Tuple[LintResult, ProgramStats]:
+        """Discover files under ``paths`` and analyze them."""
+        files = discover_files([Path(p) for p in paths])
+        return self.analyze_files(files)
+
+    def analyze_files(
+        self, files: Sequence[Path]
+    ) -> Tuple[LintResult, ProgramStats]:
+        """Analyze an explicit file list (already discovered/filtered)."""
+        cache = AnalysisCache(self.cache_path)
+        stats = ProgramStats(files_total=len(files))
+        summaries: List[ModuleSummary] = []
+        violations: List[Violation] = []
+        display_paths: List[str] = []
+        for path in files:
+            display = self._display_path(path)
+            display_paths.append(display)
+            source = path.read_text(encoding="utf-8")
+            sha256 = content_sha256(source)
+            cached = cache.get(display, sha256)
+            if cached is not None:
+                stats.files_cached += 1
+                summaries.append(cached)
+                continue
+            stats.files_parsed += 1
+            try:
+                tree = ast.parse(source, filename=display)
+            except SyntaxError as exc:
+                violations.append(
+                    Violation(
+                        path=display,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule="syntax-error",
+                        message=f"cannot parse file: {exc.msg}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            module, is_package = module_name_for(path)
+            summary = summarize_source(
+                module, display, source, is_package=is_package, tree=tree
+            )
+            cache.put(summary)
+            summaries.append(summary)
+        cache.save(display_paths)
+        index = ProgramIndex(summaries)
+        for program_pass in sorted(self.passes, key=lambda p: p.name):
+            violations.extend(program_pass.run(index))
+        result = LintResult(violations=violations, files_checked=len(files))
+        result.violations.sort()
+        return result, stats
+
+    def _display_path(self, path: Path) -> str:
+        try:
+            return str(path.resolve().relative_to(self.root.resolve()))
+        except ValueError:
+            return str(path)

@@ -44,17 +44,21 @@ class Violation:
     rule: str
     message: str
     severity: Severity = Severity.ERROR
+    #: True when a committed baseline tolerates this violation: it stays
+    #: visible in reports but never fails the run, even under --strict.
+    baselined: bool = False
 
     def format(self) -> str:
         """Render as the classic ``path:line:col: severity [rule] msg``."""
+        suffix = " (baselined)" if self.baselined else ""
         return (
             f"{self.path}:{self.line}:{self.col}: "
-            f"{self.severity} [{self.rule}] {self.message}"
+            f"{self.severity} [{self.rule}] {self.message}{suffix}"
         )
 
-    def to_dict(self) -> Dict[str, Union[str, int]]:
+    def to_dict(self) -> Dict[str, Union[str, int, bool]]:
         """JSON-serializable representation (used by the JSON reporter)."""
-        return {
+        payload: Dict[str, Union[str, int, bool]] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -62,3 +66,6 @@ class Violation:
             "severity": str(self.severity),
             "message": self.message,
         }
+        if self.baselined:
+            payload["baselined"] = True
+        return payload

@@ -8,6 +8,46 @@ import pytest
 from repro.lint import Linter
 from repro.lint.registry import get_rule_class
 
+#: Root of the seeded known-bad fixture corpus.
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixture_corpus():
+    """Path factory for the known-bad programs under ``fixtures/``."""
+
+    def _corpus(name):
+        root = FIXTURES / name
+        assert root.is_dir(), f"missing fixture corpus {name!r}"
+        return root
+
+    return _corpus
+
+
+@pytest.fixture
+def analyze_corpus(fixture_corpus):
+    """Run the whole-program analyzer over one fixture corpus.
+
+    Each corpus is analyzed on its own (they all define a ``repro``
+    package, so mixing them would collide on module names).  Returns
+    the LintResult; paths are relative to the corpus root.
+    """
+    from repro.lint.program import ProgramAnalyzer
+
+    def _analyze(name, select=None):
+        from repro.lint.program import create_passes
+
+        root = fixture_corpus(name)
+        analyzer = ProgramAnalyzer(
+            passes=create_passes(select=select or []),
+            root=root,
+            cache_path=None,
+        )
+        result, _stats = analyzer.analyze_paths([root])
+        return result
+
+    return _analyze
+
 
 @pytest.fixture
 def lint_source():

@@ -1,0 +1,17 @@
+"""Known-bad: module-level registries mutated from concurrent paths."""
+
+CACHE = {}
+EVENTS = []
+LIMIT = 16
+
+
+def remember(key, value):
+    CACHE[key] = value
+
+
+def record(event):
+    EVENTS.append(event)
+
+
+def lookup(key):
+    return CACHE.get(key)

@@ -1,0 +1,17 @@
+"""Spawns threads whose target transitively mutates module state."""
+
+import threading
+
+from .state import remember
+
+
+def handle(item):
+    remember(item, item)
+
+
+def serve(items):
+    threads = [threading.Thread(target=handle, args=(item,)) for item in items]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()

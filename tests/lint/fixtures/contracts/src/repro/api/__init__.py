@@ -1,0 +1,3 @@
+from .impl import helper, load, save
+
+__all__ = ["helper", "load", "save"]

@@ -1,0 +1,13 @@
+"""Callees whose signatures the client must match."""
+
+
+def load(path, strict=False):
+    return (path, strict)
+
+
+def save(path, payload, *, fsync=True):
+    return (path, payload, fsync)
+
+
+def helper():
+    return 1

@@ -1,0 +1,9 @@
+"""Known-bad importer: stale name, wrong keyword, missing argument."""
+
+from repro.api import load, missing_name, save
+
+
+def run():
+    snapshot = load("snapshot.npz", strict=True, retries=3)
+    save("snapshot.npz")
+    return snapshot, missing_name

@@ -1,0 +1,11 @@
+"""Deterministic boundary: both entry points below must be flagged."""
+
+from repro.schedule import backoff, cadence
+
+
+def step(x):
+    return x + backoff(1)
+
+
+def clean_step(x):
+    return x + cadence(1)

@@ -1,0 +1,13 @@
+"""Deterministic boundary: unseeded generator constructed in place."""
+
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng()
+    return rng.normal(size=n)
+
+
+def seeded_sample(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)

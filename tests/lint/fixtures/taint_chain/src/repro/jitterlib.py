@@ -1,0 +1,11 @@
+"""Known-bad: reads the wall clock (the root of the taint chain)."""
+
+import time
+
+
+def jitter():
+    return time.time() * 1e-9
+
+
+def steady(step):
+    return step * 2

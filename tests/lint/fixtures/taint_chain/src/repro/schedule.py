@@ -1,0 +1,11 @@
+"""Middle hop: launders the wall-clock read through a clean-looking API."""
+
+from .jitterlib import jitter, steady
+
+
+def backoff(step):
+    return step + jitter()
+
+
+def cadence(step):
+    return steady(step)

@@ -1,0 +1,127 @@
+"""Baseline ratchet: tolerate fingerprinted violations, fail new ones."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import BASELINE_VERSION, Baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import LintResult
+from repro.lint.violations import Severity, Violation
+
+
+def make_violation(path="mod.py", line=3, rule="unseeded-randomness",
+                   message="bad", severity=Severity.ERROR):
+    return Violation(
+        path=path, line=line, col=0, rule=rule, message=message,
+        severity=severity,
+    )
+
+
+def roundtrip(violations, tmp_path):
+    """Write a baseline for ``violations`` and load it back."""
+    path = tmp_path / "baseline.json"
+    Baseline.write(path, LintResult(violations=list(violations)))
+    return path, Baseline.load(path)
+
+
+class TestApply:
+    def test_matched_error_demoted_and_flagged(self, tmp_path):
+        violation = make_violation()
+        _, baseline = roundtrip([violation], tmp_path)
+        result = baseline.apply(LintResult(violations=[violation]))
+        [adjusted] = result.violations
+        assert adjusted.severity == Severity.WARNING
+        assert adjusted.baselined
+        assert result.exit_code(strict=True) == 0
+
+    def test_line_shift_still_matches(self, tmp_path):
+        # Fingerprints carry no line numbers: unrelated edits that move
+        # a violation must not break the baseline.
+        _, baseline = roundtrip([make_violation(line=3)], tmp_path)
+        result = baseline.apply(
+            LintResult(violations=[make_violation(line=40)])
+        )
+        assert result.violations[0].baselined
+
+    def test_new_violation_still_fails(self, tmp_path):
+        _, baseline = roundtrip([make_violation()], tmp_path)
+        fresh = make_violation(rule="wall-clock", message="other")
+        result = baseline.apply(
+            LintResult(violations=[make_violation(), fresh])
+        )
+        assert result.exit_code() == 1
+        assert [v.baselined for v in sorted(result.violations)] == [True, False]
+
+    def test_budget_caps_duplicate_fingerprints(self, tmp_path):
+        # One tolerated occurrence; a second identical violation is new.
+        _, baseline = roundtrip([make_violation()], tmp_path)
+        result = baseline.apply(
+            LintResult(violations=[make_violation(), make_violation(line=9)])
+        )
+        assert sum(v.baselined for v in result.violations) == 1
+        assert result.exit_code() == 1
+
+    def test_baselined_warning_exempt_from_strict_only(self, tmp_path):
+        tolerated = make_violation(severity=Severity.WARNING)
+        _, baseline = roundtrip([tolerated], tmp_path)
+        fresh = make_violation(message="new", severity=Severity.WARNING)
+        result = baseline.apply(
+            LintResult(violations=[tolerated, fresh])
+        )
+        assert result.exit_code(strict=False) == 0
+        assert result.exit_code(strict=True) == 1
+
+
+class TestFileFormat:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported format"):
+            Baseline.load(path)
+
+    def test_write_counts_duplicates(self, tmp_path):
+        path, baseline = roundtrip(
+            [make_violation(), make_violation(line=9)], tmp_path
+        )
+        data = json.loads(path.read_text())
+        assert data["version"] == BASELINE_VERSION
+        assert [e["count"] for e in data["entries"]] == [2]
+        assert len(baseline) == 2
+
+
+class TestCli:
+    DIRTY = "import random\n\n\ndef pick():\n    return random.random()\n"
+
+    @pytest.fixture
+    def tree(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        return tmp_path
+
+    def test_write_then_ratchet(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        args = ["--root", str(tree), str(tree)]
+        assert lint_main(["--write-baseline", str(baseline)] + args) == 0
+        capsys.readouterr()
+        assert lint_main(["--baseline", str(baseline)] + args) == 0
+        out = capsys.readouterr().out
+        assert "(baselined)" in out
+
+    def test_new_violation_breaks_ratchet(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        args = ["--root", str(tree), str(tree)]
+        lint_main(["--write-baseline", str(baseline)] + args)
+        (tree / "fresh.py").write_text(self.DIRTY)
+        assert lint_main(["--baseline", str(baseline)] + args) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+
+    def test_corrupt_baseline_is_usage_error(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        baseline.write_text("[]")
+        code = lint_main(["--baseline", str(baseline), "--root", str(tree), str(tree)])
+        assert code == 2
+        assert "unsupported format" in capsys.readouterr().err

@@ -121,3 +121,29 @@ class TestParser:
         )
         assert lint_main([str(warn)]) == 0
         assert lint_main(["--strict", str(warn)]) == 1
+
+
+class TestProgramFlags:
+    def test_list_rules_includes_program_passes(self, capsys):
+        lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert "determinism-taint" in out
+        assert "[--program]" in out
+
+    def test_select_pass_without_program_is_noop(self, tree):
+        # Pass names are valid --select targets, but the passes only
+        # run under --program; per-file rules are switched off.
+        assert lint_main(["--select", "determinism-taint", str(tree)]) == 0
+
+    def test_unknown_select_name_is_usage_error(self, tree, capsys):
+        assert lint_main(["--select", "no-such-pass", str(tree)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_program_merges_rule_and_pass_findings(self, tree, capsys):
+        assert lint_main(["--program", "--no-cache", str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-randomness" in out
+
+    def test_repro_lint_forwards_program_flag(self, tree, capsys):
+        assert repro_main(["lint", "--program", "--no-cache", str(tree)]) == 1
+        assert "program analysis:" in capsys.readouterr().err

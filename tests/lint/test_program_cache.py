@@ -1,0 +1,120 @@
+"""The analysis cache: warm runs re-parse only changed files and the
+JSON report stays byte-identical across cold and warm runs."""
+
+import re
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+
+JITTER = """
+'''Wall-clock jitter helper (deliberately tainted).'''
+import time
+
+
+def jitter():
+    return time.time() * 1e-9
+"""
+
+ENGINE = """
+'''A deterministic-boundary module calling the tainted helper.'''
+from repro.jitter import jitter
+
+
+def step(state):
+    return state + jitter()
+"""
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A tiny project whose core module reaches a taint source."""
+    pkg = tmp_path / "src" / "repro"
+    core = pkg / "core"
+    core.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (core / "__init__.py").write_text("")
+    (pkg / "jitter.py").write_text(JITTER)
+    (core / "engine.py").write_text(ENGINE)
+    return tmp_path
+
+
+def run(tree, capsys, cache):
+    """One CLI invocation; returns (exit code, stdout, parsed/cached)."""
+    code = lint_main(
+        [
+            "--program",
+            "--format",
+            "json",
+            "--root",
+            str(tree),
+            "--cache",
+            str(cache),
+            str(tree / "src"),
+        ]
+    )
+    captured = capsys.readouterr()
+    stats = re.search(
+        r"(\d+) file\(s\), (\d+) parsed, (\d+) from cache", captured.err
+    )
+    assert stats is not None, captured.err
+    total, parsed, cached = map(int, stats.groups())
+    assert total == parsed + cached
+    return code, captured.out, (parsed, cached)
+
+
+class TestColdWarm:
+    def test_warm_run_is_byte_identical_and_fully_cached(self, tree, capsys):
+        cache = tree / "cache.json"
+        _, cold_out, (cold_parsed, cold_cached) = run(tree, capsys, cache)
+        assert (cold_parsed, cold_cached) == (4, 0)
+        _, warm_out, (warm_parsed, warm_cached) = run(tree, capsys, cache)
+        assert (warm_parsed, warm_cached) == (0, 4)
+        assert warm_out == cold_out
+
+    def test_touched_file_is_the_only_reparse(self, tree, capsys):
+        cache = tree / "cache.json"
+        run(tree, capsys, cache)
+        jitter = tree / "src" / "repro" / "jitter.py"
+        jitter.write_text(jitter.read_text() + "# trailing comment\n")
+        _, _, (parsed, cached) = run(tree, capsys, cache)
+        assert (parsed, cached) == (1, 3)
+
+    def test_no_cache_flag_always_parses(self, tree, capsys):
+        cache = tree / "cache.json"
+        run(tree, capsys, cache)
+        code = lint_main(
+            [
+                "--program",
+                "--no-cache",
+                "--format",
+                "json",
+                "--root",
+                str(tree),
+                str(tree / "src"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert "4 parsed, 0 from cache" in err
+        assert code == 1
+
+    def test_corrupt_cache_file_is_rebuilt(self, tree, capsys):
+        cache = tree / "cache.json"
+        run(tree, capsys, cache)
+        cache.write_text("{not json")
+        _, out, (parsed, _) = run(tree, capsys, cache)
+        assert parsed == 4  # fell back to a cold parse, same report
+        _, warm_out, (warm_parsed, _) = run(tree, capsys, cache)
+        assert warm_parsed == 0
+        assert warm_out == out
+
+
+class TestFindingsSurviveCaching:
+    def test_taint_chain_reported_from_cache(self, tree, capsys):
+        cache = tree / "cache.json"
+        code, cold_out, _ = run(tree, capsys, cache)
+        assert code == 1
+        assert "determinism-taint" in cold_out
+        code, warm_out, _ = run(tree, capsys, cache)
+        assert code == 1
+        assert warm_out == cold_out
