@@ -16,6 +16,10 @@ writing Python:
     python -m repro.cli index build --out idx      # ANN snapshot (byte-stable)
     python -m repro.cli index search --snapshot idx # nearest-tail queries
     python -m repro.cli index eval                 # recall/cost vs exact Flat
+    python -m repro.cli store build --out st       # out-of-core shard store
+    python -m repro.cli store verify --dir st      # CRC-check every page
+    python -m repro.cli store scrub --dir st       # CRC-check + quarantine
+    python -m repro.cli store chaos --dir work     # corruption-recovery drill
     python -m repro.cli metrics --format prom      # telemetry snapshot export
     python -m repro.cli trace --format chrome      # span/profile trace export
     python -m repro.cli lint src tests             # static-analysis gate
@@ -474,6 +478,172 @@ def cmd_index(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown index subcommand {args.index_command!r}")
 
 
+def _store_dir_summary(store) -> None:
+    """Deterministic per-table summary lines for store subcommands."""
+    for name in store.table_names():
+        spec = store.spec(name)
+        print(
+            f"  {name}: shape {spec.shape} {spec.dtype} | "
+            f"{spec.nbytes} bytes | {spec.num_shards} shards ({spec.layout}) | "
+            f"{spec.rows_per_page} rows/page"
+        )
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Build, verify, scrub, or chaos-drill an embedding store.
+
+    ``build`` persists the deterministic preset-scale server as a
+    checksummed shard store (two same-seed builds are byte-identical);
+    ``verify`` re-reads every page against its CRC without mutating
+    anything; ``scrub`` additionally quarantines damage; ``chaos``
+    runs the full storage-failure drill — seeded corruption, degraded
+    serving, replica repair — and prints a byte-deterministic report
+    the check.sh gate diffs across two runs.
+    """
+    from pathlib import Path
+
+    from .store import EmbeddingStore, StoreManifestError
+
+    config = _load_config(args)
+
+    if args.store_command == "build":
+        server = _untrained_server(config)
+        store = server.save_store(
+            args.out, num_shards=args.shards, page_bytes=args.page_bytes
+        )
+        print(
+            f"store -> {args.out}: {len(store.table_names())} tables, "
+            f"{store.nbytes} bytes"
+        )
+        _store_dir_summary(store)
+        store.close()
+        return 0
+
+    if args.store_command in ("verify", "scrub"):
+        try:
+            store = EmbeddingStore.open(args.dir, cache_pages=args.cache_pages)
+        except StoreManifestError as error:
+            print(f"manifest: REFUSED ({error})")
+            return 2
+        if args.store_command == "scrub":
+            report = store.scrub()
+            print(report.as_row())
+            for name in store.table_names():
+                rows = store.quarantined_rows(name)
+                if rows:
+                    print(f"  {name}: quarantined rows {rows}")
+        else:
+            report = store.verify()
+            print(
+                f"verify: {report.pages_scanned} pages scanned | "
+                f"{report.pages_bad} bad | damaged {list(report.bad_pages)}"
+            )
+        store.close()
+        return 0 if report.clean else 1
+
+    if args.store_command == "chaos":
+        from .obs.metrics import MetricsRegistry
+        from .reliability import (
+            ResilientPKGMServer,
+            StorageFaultPlan,
+            inject_storage_faults,
+        )
+
+        workdir = Path(args.dir)
+        primary_dir = workdir / "primary"
+        replica_dir = workdir / "replica"
+        server = _untrained_server(config)
+        server.save_store(
+            primary_dir, num_shards=args.shards, page_bytes=args.page_bytes
+        ).close()
+        server.save_store(
+            replica_dir, num_shards=args.shards, page_bytes=args.page_bytes
+        ).close()
+
+        plan = StorageFaultPlan(
+            seed=args.fault_seed,
+            torn_writes=args.torn,
+            bit_flips=args.flips,
+            truncate_manifest=args.torn_manifest,
+            lost_fsync_tails=args.lost_tails,
+        )
+        fault_stats = inject_storage_faults(primary_dir, plan)
+        print(f"plan: {plan.describe()}")
+        print(fault_stats.as_row())
+        for kind, filename, offset in fault_stats.events:
+            print(f"  {kind} {filename} @ {offset}")
+
+        if args.torn_manifest:
+            try:
+                EmbeddingStore.open(primary_dir)
+                print("manifest: ACCEPTED (unexpected)")
+                return 1
+            except StoreManifestError:
+                print("manifest: refused torn manifest; restoring from replica")
+                EmbeddingStore.restore_manifest(primary_dir, replica_dir)
+
+        registry = MetricsRegistry()
+        from .core import PKGMServer as _PKGMServer
+
+        store_server = _PKGMServer.from_store(
+            primary_dir, cache_pages=args.cache_pages, registry=registry
+        )
+        scrub = store_server.store.scrub()
+        print(scrub.as_row())
+        print(f"unreadable selector items: {store_server.unreadable_items}")
+
+        facade = ResilientPKGMServer(store_server, registry=registry)
+        items = server.known_items()
+        degraded_items = []
+        for item in items:
+            payload = facade.serve(item)
+            if payload.degraded:
+                degraded_items.append(item)
+        print(
+            f"degraded serve: {len(items)} requests | "
+            f"{len(degraded_items)} degraded | {facade.stats.as_row()}"
+        )
+
+        replica = EmbeddingStore.open(replica_dir)
+        repair = store_server.store.repair(replica)
+        replica.close()
+        print(repair.as_row())
+        rescrub = store_server.store.verify()
+        print(f"post-repair {rescrub.as_row()}")
+
+        # Reload over the repaired files: quarantined selector rows are
+        # readable again, so every item must now serve live and
+        # bit-identically to the in-RAM reference server.
+        store_server.store.close()
+        store_server = _PKGMServer.from_store(
+            primary_dir, cache_pages=args.cache_pages, registry=registry
+        )
+        facade = ResilientPKGMServer(store_server, registry=registry)
+        mismatches = 0
+        for item in items:
+            reference = server.serve(item)
+            recovered = facade.serve(item)
+            if recovered.degraded or not (
+                np.array_equal(reference.triple_vectors, recovered.triple_vectors)
+                and np.array_equal(
+                    reference.relation_vectors, recovered.relation_vectors
+                )
+            ):
+                mismatches += 1
+        print(f"post-repair serve: {len(items)} requests | {mismatches} mismatches")
+
+        print("metrics:")
+        for key, value in sorted(registry.snapshot().items()):
+            if key.startswith(("store.", "serving.")):
+                print(f"  {key} {value}")
+        store_server.store.close()
+        ok = repair.complete and rescrub.clean and mismatches == 0
+        print(f"chaos drill: {'RECOVERED' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+    raise ValueError(f"unknown store subcommand {args.store_command!r}")
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run the seeded serving workload and export its telemetry.
 
@@ -659,6 +829,51 @@ def build_parser() -> argparse.ArgumentParser:
     common(tra)
     tra.add_argument("--epochs", type=int, default=2)
     tra.add_argument("--format", choices=("tree", "chrome"), default="tree")
+    sto = sub.add_parser(
+        "store", help="crash-safe out-of-core embedding store operations"
+    )
+    ssub = sto.add_subparsers(dest="store_command", required=True)
+
+    def store_common(p: argparse.ArgumentParser) -> None:
+        common(p)
+        p.add_argument("--shards", type=int, default=2)
+        p.add_argument("--page-bytes", type=int, default=4096)
+        p.add_argument("--cache-pages", type=int, default=16)
+
+    sbuild = ssub.add_parser(
+        "build", help="persist the preset server as a checksummed shard store"
+    )
+    store_common(sbuild)
+    sbuild.add_argument("--out", type=str, required=True, help="store directory")
+    sverify = ssub.add_parser(
+        "verify", help="CRC-check every page without mutating anything"
+    )
+    store_common(sverify)
+    sverify.add_argument("--dir", type=str, required=True, help="store directory")
+    sscrub = ssub.add_parser(
+        "scrub", help="CRC-check every page, quarantining damage"
+    )
+    store_common(sscrub)
+    sscrub.add_argument("--dir", type=str, required=True, help="store directory")
+    schaos = ssub.add_parser(
+        "chaos",
+        help="seeded corruption + degraded serving + replica repair drill",
+    )
+    store_common(schaos)
+    schaos.add_argument(
+        "--dir", type=str, required=True, help="work directory for the drill"
+    )
+    schaos.add_argument("--torn", type=int, default=1, help="torn shard writes")
+    schaos.add_argument("--flips", type=int, default=2, help="single-bit flips")
+    schaos.add_argument(
+        "--lost-tails", type=int, default=0, help="lost-fsync tail zeroings"
+    )
+    schaos.add_argument(
+        "--torn-manifest",
+        action="store_true",
+        help="also truncate the manifest (restored from the replica)",
+    )
+    schaos.add_argument("--fault-seed", type=int, default=0)
     lint = sub.add_parser(
         "lint",
         parents=[lint_cli.build_parser()],
@@ -679,6 +894,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "loadtest": cmd_loadtest,
     "index": cmd_index,
+    "store": cmd_store,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": lint_cli.run_lint,

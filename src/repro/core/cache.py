@@ -20,11 +20,62 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Hashable, List, Optional, Sequence
 
 import numpy as np
 
 from .service import PKGMServer, ServiceVectors
+
+
+class LRUDict:
+    """A bounded least-recently-used mapping (OrderedDict idiom).
+
+    The recency discipline shared by the service-vector cache below and
+    the :mod:`repro.store` page cache: :meth:`get` refreshes an entry,
+    :meth:`put` inserts and returns however many cold entries were
+    evicted to stay within ``capacity``, and :meth:`peek` reads without
+    touching recency — the degraded-mode probe.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The entry for ``key`` (refreshed), or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """The entry for ``key`` without touching the LRU order."""
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, value: Any) -> int:
+        """Insert (or refresh) an entry; returns the eviction count."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def discard(self, key: Hashable) -> None:
+        """Drop one entry if present (repair invalidation)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 @dataclass(frozen=True)
@@ -76,7 +127,7 @@ class CachedPKGMServer:
         self.metrics = registry
         self._server = server
         self._capacity = capacity
-        self._cache: "OrderedDict[int, ServiceVectors]" = OrderedDict()
+        self._cache = LRUDict(capacity)
         self._hits_c = registry.counter("cache.hits", help="Cache hits")
         self._misses_c = registry.counter("cache.misses", help="Cache misses")
         self._evictions_c = registry.counter("cache.evictions", help="LRU evictions")
@@ -111,7 +162,6 @@ class CachedPKGMServer:
         cached = self._cache.get(entity_id)
         if cached is not None:
             self._hits_c.inc()
-            self._cache.move_to_end(entity_id)
             return cached
         self._misses_c.inc()
         vectors = self._server.serve(entity_id)
@@ -119,10 +169,9 @@ class CachedPKGMServer:
             # A degraded payload is an outage artifact, not model output:
             # caching it would keep serving the fallback long after the
             # backend recovered.  Let the next request retry live.
-            self._cache[entity_id] = vectors
-            if len(self._cache) > self._capacity:
-                self._cache.popitem(last=False)
-                self._evictions_c.inc()
+            evicted = self._cache.put(entity_id, vectors)
+            if evicted:
+                self._evictions_c.inc(evicted)
             self._size_g.set(len(self._cache))
         return vectors
 
@@ -191,7 +240,7 @@ class CachedPKGMServer:
         This is the degraded-mode read path: when the backing server is
         down, stale-but-valid vectors beat no vectors.
         """
-        return self._cache.get(int(entity_id))
+        return self._cache.peek(int(entity_id))
 
     def refresh(self, server: PKGMServer, reset_stats: bool = True) -> None:
         """Swap in a newly trained server and drop every cached entry.

@@ -100,6 +100,13 @@ class PKGMServer:
         self._transfer = model.relation_module.transfer_matrices.data.copy()
         self._selector = selector
         self._tail_index = None
+        #: The backing :class:`repro.store.EmbeddingStore`, when the
+        #: server was restored via :meth:`from_store`; ``None`` for
+        #: resident servers.
+        self.store = None
+        #: Items whose selector rows were quarantined at
+        #: :meth:`from_store` time (0 for resident servers).
+        self.unreadable_items = 0
 
     # ------------------------------------------------------------------
     # Raw module services for arbitrary (h, r)
@@ -354,6 +361,8 @@ class PKGMServer:
 
         server = cls.__new__(cls)
         server._tail_index = None
+        server.store = None
+        server.unreadable_items = 0
         server._entity_table = entity_table
         server._relation_table = relation_table
         server._transfer = transfer
@@ -370,6 +379,140 @@ class PKGMServer:
             ),
             k,
         )
+        return server
+
+    # ------------------------------------------------------------------
+    # Out-of-core deployment: the snapshot as an embedding store
+    # ------------------------------------------------------------------
+    def save_store(
+        self,
+        directory: Union[str, Path],
+        *,
+        num_shards: int = 1,
+        page_bytes: Optional[int] = None,
+        registry=None,
+    ):
+        """Persist the snapshot as a :class:`repro.store.EmbeddingStore`.
+
+        Same payload as :meth:`save`, different medium: checksummed
+        binary shard files under a self-verified manifest instead of
+        one npz.  A server restored with :meth:`from_store` then pages
+        rows in on demand, so the catalog no longer has to fit in RAM.
+        Returns the built (open) store.
+        """
+        # Imported lazily: repro.store sits on repro.core.cache and
+        # repro.reliability, both of which import repro.core first.
+        from ..store import DEFAULT_PAGE_BYTES, EmbeddingStore
+
+        item_ids = self._selector.items()
+        key_table = np.asarray(
+            [self._selector.for_item(item) for item in item_ids], dtype=np.int64
+        ).reshape(len(item_ids), self.k)
+        return EmbeddingStore.build(
+            directory,
+            {
+                "entity_table": np.asarray(self._entity_table),
+                "relation_table": np.asarray(self._relation_table),
+                "transfer": np.asarray(self._transfer),
+                "item_ids": np.asarray(item_ids, dtype=np.int64),
+                "key_relations": key_table,
+            },
+            num_shards=num_shards,
+            page_bytes=DEFAULT_PAGE_BYTES if page_bytes is None else page_bytes,
+            metadata={"kind": "pkgm-server", "k": self.k, "dim": self.dim},
+            registry=registry,
+        )
+
+    @classmethod
+    def from_store(
+        cls,
+        directory: Union[str, Path],
+        *,
+        cache_pages: int = 64,
+        registry=None,
+    ) -> "PKGMServer":
+        """Cold-start a server over a store written by :meth:`save_store`.
+
+        Only the manifest and the (small) key-relation tables are read
+        eagerly; the embedding tables stay on disk behind
+        :class:`repro.store.StoreTable` views, paged in through an LRU
+        cache of ``cache_pages`` pages.  Service results are
+        bit-identical to the in-RAM server the store was built from —
+        unless a page is quarantined, in which case lookups raise
+        :class:`repro.store.QuarantinedRowError` for the resilient
+        facade to resolve.  Schema damage raises :class:`SnapshotError`.
+        """
+        from ..store import EmbeddingStore, QuarantinedRowError, StoreTable
+
+        store = EmbeddingStore.open(
+            directory, cache_pages=cache_pages, registry=registry
+        )
+        names = set(store.table_names())
+        for key in ("entity_table", "relation_table", "transfer",
+                    "item_ids", "key_relations"):
+            if key not in names:
+                raise SnapshotError(f"store is missing table {key!r}")
+        metadata = store.metadata
+        if metadata.get("kind") != "pkgm-server":
+            raise SnapshotError(
+                f"store metadata kind {metadata.get('kind')!r} is not "
+                f"'pkgm-server'"
+            )
+        entity_spec = store.spec("entity_table")
+        relation_spec = store.spec("relation_table")
+        transfer_spec = store.spec("transfer")
+        if len(entity_spec.row_shape) != 1:
+            raise SnapshotError(
+                f"'entity_table' rows must be 1-D, got {entity_spec.row_shape}"
+            )
+        dim = entity_spec.row_shape[0]
+        if relation_spec.row_shape != (dim,):
+            raise SnapshotError(
+                f"'relation_table' row shape {relation_spec.row_shape} does "
+                f"not match entity dim {dim}"
+            )
+        if transfer_spec.row_shape != (dim, dim) or (
+            transfer_spec.rows != relation_spec.rows
+        ):
+            raise SnapshotError(
+                f"'transfer' geometry {transfer_spec.shape} != expected "
+                f"{(relation_spec.rows, dim, dim)}"
+            )
+        k = int(metadata.get("k", 0))
+        item_spec = store.spec("item_ids")
+        key_spec = store.spec("key_relations")
+        if key_spec.rows != item_spec.rows or key_spec.row_shape != (k,):
+            raise SnapshotError(
+                f"'key_relations' geometry {key_spec.shape} != expected "
+                f"{(item_spec.rows, k)}"
+            )
+        # Selector tables are tiny relative to the embeddings; read them
+        # resident so item enumeration never faults pages.  Reads are
+        # per-row and quarantine-tolerant: a damaged selector page costs
+        # only the items on it (they serve the unknown-item fallback
+        # until repair), never the cold start itself.
+        table: Dict[int, List[int]] = {}
+        unreadable = 0
+        for row in range(item_spec.rows):
+            try:
+                item = int(store.read_row("item_ids", row)[()])
+                relations = store.read_row("key_relations", row)
+            except QuarantinedRowError:
+                unreadable += 1
+                continue
+            table[item] = [int(r) for r in relations]
+        server = cls.__new__(cls)
+        server._tail_index = None
+        server._entity_table = StoreTable(store, "entity_table")
+        server._relation_table = StoreTable(store, "relation_table")
+        server._transfer = StoreTable(store, "transfer")
+        server.k = k
+        server.dim = dim
+        server.num_entities = entity_spec.rows
+        server.num_relations = relation_spec.rows
+        server._selector = _FrozenSelector(table, k)
+        server.store = store
+        server.unreadable_items = unreadable
         return server
 
 

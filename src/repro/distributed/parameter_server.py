@@ -205,6 +205,79 @@ class ParameterServer:
         self._v[name][:] = state["v"]
         self._step[name][:] = state["step"]
 
+    # ------------------------------------------------------------------
+    # Out-of-core persistence: shard state as an embedding store
+    # ------------------------------------------------------------------
+    def save_to_store(self, directory, *, page_bytes: Optional[int] = None,
+                      registry=None):
+        """Persist every table (values + Adam moments) as a
+        :class:`repro.store.EmbeddingStore`.
+
+        Uses the ``strided`` layout with this server's shard count, so
+        store shard ``s`` holds exactly the rows ``shard_of`` assigns to
+        PS shard ``s`` — each shard file is one PS shard's state, and a
+        damaged shard quarantines only that shard's rows.  Returns the
+        built (open) store.
+        """
+        # Imported lazily: repro.store pulls in repro.reliability, which
+        # this training-side module otherwise never needs.
+        from ..store import DEFAULT_PAGE_BYTES, EmbeddingStore
+
+        arrays: Dict[str, np.ndarray] = {}
+        for name in sorted(self._tables):
+            arrays[f"{name}.table"] = self._tables[name]
+            arrays[f"{name}.m"] = self._m[name]
+            arrays[f"{name}.v"] = self._v[name]
+            arrays[f"{name}.step"] = self._step[name]
+        return EmbeddingStore.build(
+            directory,
+            arrays,
+            num_shards=self.num_shards,
+            layout="strided",
+            page_bytes=DEFAULT_PAGE_BYTES if page_bytes is None else page_bytes,
+            metadata={
+                "kind": "parameter-server",
+                "num_shards": self.num_shards,
+                "tables": sorted(self._tables),
+            },
+            registry=registry,
+        )
+
+    def restore_from_store(self, directory, *, cache_pages: int = 64,
+                           registry=None) -> None:
+        """Restore every registered table from :meth:`save_to_store`.
+
+        Tables must already be registered (shapes come from
+        registration, values from the store); missing store tables raise
+        ``KeyError``, geometry mismatches ``ValueError`` — the
+        :meth:`load_state` contract.  Reads stream through the store's
+        page cache, so restoring stays within the cache budget.
+        """
+        from ..store import EmbeddingStore, StoreSchemaError
+
+        store = EmbeddingStore.open(
+            directory, cache_pages=cache_pages, registry=registry
+        )
+        try:
+            if store.metadata.get("kind") != "parameter-server":
+                raise KeyError(
+                    f"store metadata kind {store.metadata.get('kind')!r} "
+                    f"is not 'parameter-server'"
+                )
+            for name in sorted(self._tables):
+                state = {}
+                for part in ("table", "m", "v", "step"):
+                    try:
+                        state[part] = store.read_table(f"{name}.{part}")
+                    except StoreSchemaError as error:
+                        raise KeyError(
+                            f"store has no state for parameter {name!r} "
+                            f"({error})"
+                        ) from error
+                self.load_state(name, state)
+        finally:
+            store.close()
+
     def renormalize_rows(self, name: str, max_norm: float = 1.0) -> None:
         """Project rows onto the L2 ball (TransE's entity constraint)."""
         table = self._tables[name]

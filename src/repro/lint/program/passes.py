@@ -43,6 +43,7 @@ DETERMINISTIC_BOUNDARY = (
     "repro.kg",
     "repro.obs",
     "repro.reliability",
+    "repro.store",
 )
 
 #: Module prefixes whose public functions are treated as concurrent

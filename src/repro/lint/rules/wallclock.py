@@ -63,6 +63,7 @@ class WallClockInReliabilityRule(Rule):
             "repro/reliability/",
             "repro/obs/",
             "repro/index/",
+            "repro/store/",
         )
         #: ``time``-module attribute names treated as wall-clock reads.
         self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))

@@ -50,6 +50,9 @@ from .faults import (
     FaultStats,
     FaultyParameterServer,
     FlakyServingBackend,
+    StorageFaultPlan,
+    StorageFaultStats,
+    inject_storage_faults,
 )
 from .gateway import (
     GatewayConfig,
@@ -113,6 +116,8 @@ __all__ = [
     "RetryPolicy",
     "RetryStats",
     "StepClock",
+    "StorageFaultPlan",
+    "StorageFaultStats",
     "TimedBackend",
     "TokenBucket",
     "atomic_save_npz",
@@ -120,6 +125,7 @@ __all__ = [
     "atomic_write_json",
     "build_replicas",
     "fallback_payload",
+    "inject_storage_faults",
     "restore_rng",
     "rng_state",
     "run_loadtest",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import itertools
 import json
 import os
 import re
@@ -38,6 +39,13 @@ class CheckpointError(RuntimeError):
 # ----------------------------------------------------------------------
 # Atomic write primitives
 # ----------------------------------------------------------------------
+#: Process-wide monotonic sequence for temp-file names.  ``count()`` is
+#: atomic under the GIL (a single ``__next__``), so two threads writing
+#: the same destination get distinct temp files without locks — and
+#: without RNG, which determinism rules reserve for seeded streams.
+_TMP_SEQUENCE = itertools.count()
+
+
 def atomic_write_bytes(path: Union[str, Path], payload: bytes) -> str:
     """Write ``payload`` to ``path`` atomically; returns its SHA-256.
 
@@ -45,9 +53,16 @@ def atomic_write_bytes(path: Union[str, Path], payload: bytes) -> str:
     and then renamed over the destination (``os.replace`` is atomic on
     POSIX and Windows).  The directory entry is fsynced too, so the
     rename itself survives power loss.
+
+    The temp name carries the pid *and* a process-wide sequence number:
+    pid alone collides when two threads checkpoint the same destination
+    concurrently (one thread's rename can then promote the other's
+    half-written bytes).
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp = path.with_name(
+        f".{path.name}.tmp.{os.getpid()}.{next(_TMP_SEQUENCE)}"
+    )
     try:
         with open(tmp, "wb") as handle:
             handle.write(payload)

@@ -31,7 +31,8 @@ it wraps any ``PKGMServer``-surface object and raises seeded transient
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -302,3 +303,147 @@ class FlakyServingBackend:
     def __getattr__(self, name: str):
         # Anything not faulted (selector access, save, ...) passes through.
         return getattr(self.server, name)
+
+
+# ----------------------------------------------------------------------
+# Storage faults: what disks and crashed writers do to store files
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StorageFaultPlan:
+    """A seeded description of on-disk damage to inject into a store.
+
+    Four physically motivated fault classes, applied to the shard files
+    (and optionally the manifest) of a :class:`repro.store`
+    directory:
+
+    * **torn write** — a crash mid-write leaves a shard file truncated
+      at some byte ``k``; every page at or past the tear reads short;
+    * **bit flip** — media/bus corruption flips one bit at offset ``j``
+      of a shard file; exactly one page fails its CRC;
+    * **truncated manifest** — the crash hit the manifest itself; the
+      store must refuse to open rather than trust half a description;
+    * **lost fsync tail** — a write that was acknowledged but never
+      durably flushed: the final ``tail_bytes`` of a shard file read as
+      zeros after the "power loss".
+
+    All target selection and offsets flow from one
+    ``default_rng(seed)`` stream over the *sorted* file list, so the
+    same plan over the same store damages the same bytes — the property
+    the storage-chaos gate diffs across runs.
+    """
+
+    seed: int = 0
+    torn_writes: int = 0
+    bit_flips: int = 0
+    truncate_manifest: bool = False
+    lost_fsync_tails: int = 0
+    tail_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("torn_writes", "bit_flips", "lost_fsync_tails"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.tail_bytes < 1:
+            raise ValueError("tail_bytes must be >= 1")
+
+    def describe(self) -> str:
+        """One-line human summary for logs and chaos reports."""
+        return (
+            f"seed={self.seed} torn={self.torn_writes} "
+            f"flips={self.bit_flips} "
+            f"manifest={'torn' if self.truncate_manifest else 'ok'} "
+            f"lost-tails={self.lost_fsync_tails}"
+        )
+
+
+@dataclass
+class StorageFaultStats:
+    """What was actually damaged: ``(kind, file, offset)`` events.
+
+    ``events`` is ordered and offsets are exact, so two runs of the
+    same plan can be compared record-for-record.
+    """
+
+    torn_writes: int = 0
+    bit_flips: int = 0
+    manifests_truncated: int = 0
+    lost_fsync_tails: int = 0
+    events: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    def as_row(self) -> str:
+        return (
+            f"storage-faults: torn {self.torn_writes} | "
+            f"bit-flips {self.bit_flips} | "
+            f"manifests {self.manifests_truncated} | "
+            f"lost-tails {self.lost_fsync_tails}"
+        )
+
+
+def inject_storage_faults(
+    directory: Union[str, Path], plan: StorageFaultPlan
+) -> StorageFaultStats:
+    """Damage the store under ``directory`` according to ``plan``.
+
+    Shard files are discovered as ``*.bin`` under the directory, sorted
+    by name; targets and offsets are drawn from ``default_rng(seed)``.
+    Files are modified in place (this is the disk misbehaving, so no
+    atomic-rename discipline here — that is the point).  Raises
+    ``FileNotFoundError`` when the directory holds no shard files but
+    shard damage was requested.
+    """
+    directory = Path(directory)
+    stats = StorageFaultStats()
+    rng = np.random.default_rng(plan.seed)
+    shard_files = sorted(p for p in directory.glob("*.bin") if p.stat().st_size > 0)
+    wants_shard_damage = (
+        plan.torn_writes or plan.bit_flips or plan.lost_fsync_tails
+    )
+    if wants_shard_damage and not shard_files:
+        raise FileNotFoundError(f"no non-empty shard files under {directory}")
+
+    for _ in range(plan.torn_writes):
+        target = shard_files[int(rng.integers(len(shard_files)))]
+        size = target.stat().st_size
+        tear_at = int(rng.integers(1, size)) if size > 1 else 0
+        with open(target, "r+b") as handle:
+            handle.truncate(tear_at)
+        stats.torn_writes += 1
+        stats.events.append(("torn-write", target.name, tear_at))
+
+    for _ in range(plan.bit_flips):
+        target = shard_files[int(rng.integers(len(shard_files)))]
+        size = target.stat().st_size
+        offset = int(rng.integers(size))
+        bit = int(rng.integers(8))
+        with open(target, "r+b") as handle:
+            handle.seek(min(offset, max(0, size - 1)))
+            byte = handle.read(1)
+            if not byte:  # a prior tear shortened the file; flip byte 0
+                handle.seek(0)
+                byte = handle.read(1)
+                offset = 0
+            handle.seek(-1, 1)
+            handle.write(bytes([byte[0] ^ (1 << bit)]))
+        stats.bit_flips += 1
+        stats.events.append(("bit-flip", target.name, offset * 8 + bit))
+
+    for _ in range(plan.lost_fsync_tails):
+        target = shard_files[int(rng.integers(len(shard_files)))]
+        size = target.stat().st_size
+        tail = min(plan.tail_bytes, size)
+        with open(target, "r+b") as handle:
+            handle.seek(size - tail)
+            handle.write(b"\x00" * tail)
+        stats.lost_fsync_tails += 1
+        stats.events.append(("lost-fsync-tail", target.name, size - tail))
+
+    if plan.truncate_manifest:
+        manifest = directory / "manifest.json"
+        if manifest.exists():
+            size = manifest.stat().st_size
+            with open(manifest, "r+b") as handle:
+                handle.truncate(size // 2)
+            stats.manifests_truncated += 1
+            stats.events.append(("manifest-truncated", manifest.name, size // 2))
+
+    return stats

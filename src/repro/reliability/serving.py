@@ -29,6 +29,7 @@ import numpy as np
 from ..core.cache import CachedPKGMServer
 from ..core.service import ServiceVectors
 from ..obs.metrics import MetricsRegistry, counter_view
+from ..store.errors import QuarantinedRowError
 from .retry import (
     CircuitBreaker,
     CircuitOpenError,
@@ -83,6 +84,9 @@ class DegradationStats:
     fallback_error = counter_view(
         "serving.fallback_error", help="Backend-error fallbacks"
     )
+    fallback_quarantined = counter_view(
+        "serving.fallback_quarantined", help="Quarantined-row degraded reads"
+    )
     deadline_exceeded = counter_view(
         "serving.deadline_exceeded", help="Deadline-blown fallbacks"
     )
@@ -97,6 +101,7 @@ class DegradationStats:
         served_stale: int = 0,
         fallback_unknown: int = 0,
         fallback_error: int = 0,
+        fallback_quarantined: int = 0,
         deadline_exceeded: int = 0,
         breaker_short_circuits: int = 0,
         registry: Optional[MetricsRegistry] = None,
@@ -107,12 +112,18 @@ class DegradationStats:
         self.served_stale = served_stale
         self.fallback_unknown = fallback_unknown
         self.fallback_error = fallback_error
+        self.fallback_quarantined = fallback_quarantined
         self.deadline_exceeded = deadline_exceeded
         self.breaker_short_circuits = breaker_short_circuits
 
     @property
     def degraded_rate(self) -> float:
-        degraded = self.fallback_unknown + self.fallback_error + self.deadline_exceeded
+        degraded = (
+            self.fallback_unknown
+            + self.fallback_error
+            + self.fallback_quarantined
+            + self.deadline_exceeded
+        )
         return degraded / self.requests if self.requests else 0.0
 
     def as_row(self) -> str:
@@ -120,6 +131,7 @@ class DegradationStats:
             f"requests {self.requests} | live {self.served_live} | "
             f"stale {self.served_stale} | unknown-fallbacks "
             f"{self.fallback_unknown} | error-fallbacks {self.fallback_error} | "
+            f"quarantined-fallbacks {self.fallback_quarantined} | "
             f"deadline-exceeded {self.deadline_exceeded} | "
             f"short-circuits {self.breaker_short_circuits} | "
             f"degraded {self.degraded_rate:.2%}"
@@ -142,6 +154,7 @@ class ResilientPKGMServer:
         "stale",
         "fallback-unknown",
         "fallback-error",
+        "fallback-quarantined",
         "deadline",
     )
 
@@ -233,7 +246,7 @@ class ResilientPKGMServer:
                 total[0] += vectors.triple_vectors
                 total[1] += vectors.relation_vectors
             self._mean_payload = total / len(item_ids)
-        except (RPCError, KeyError, IndexError, AttributeError):
+        except (RPCError, KeyError, IndexError, AttributeError, QuarantinedRowError):
             return None
         return self._mean_payload
 
@@ -281,6 +294,12 @@ class ResilientPKGMServer:
             return self._fallback_payload(entity_id)
         except (RPCError, RetryExhaustedError):
             return self._stale_or_fallback(entity_id, error=True)
+        except QuarantinedRowError:
+            # Storage damage: the row's page failed its CRC and is
+            # quarantined.  Not a caller bug (the id is valid) and not a
+            # transient fault (retrying re-reads the same bad bytes), so
+            # it bypasses retry/breaker and resolves stale → fallback.
+            return self._stale_or_fallback(entity_id, error=True, quarantined=True)
         except (KeyError, IndexError):
             self.stats.fallback_unknown += 1
             self._resolution["fallback-unknown"].inc()
@@ -289,13 +308,18 @@ class ResilientPKGMServer:
         self._resolution["live"].inc()
         return vectors
 
-    def _stale_or_fallback(self, entity_id: int, error: bool) -> ServiceVectors:
+    def _stale_or_fallback(
+        self, entity_id: int, error: bool, quarantined: bool = False
+    ) -> ServiceVectors:
         stale = self._cached.peek(entity_id)
         if stale is not None:
             self.stats.served_stale += 1
             self._resolution["stale"].inc()
             return stale
-        if error:
+        if quarantined:
+            self.stats.fallback_quarantined += 1
+            self._resolution["fallback-quarantined"].inc()
+        elif error:
             self.stats.fallback_error += 1
             self._resolution["fallback-error"].inc()
         else:
@@ -327,6 +351,7 @@ class ResilientPKGMServer:
             CircuitOpenError,
             RPCError,
             RetryExhaustedError,
+            QuarantinedRowError,
             KeyError,
             IndexError,
         ):

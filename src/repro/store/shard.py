@@ -1,0 +1,153 @@
+"""Shard files: atomic writes, mmap reads, per-page CRC verification.
+
+A shard file is nothing but the raw fixed-width rows of its table
+slice — no header, no framing.  All integrity metadata (page CRC32s,
+whole-file SHA-256, byte size) lives in the store manifest, written
+strictly after every payload in the ``tmp → fsync → rename``
+discipline of :mod:`repro.reliability.checkpoint`.  That split keeps
+the data path dense and mmap-friendly while making damage *detectable*
+at page granularity: a torn write shortens the file (every page past
+the tear fails), a bit flip fails exactly one page.
+
+:class:`ShardReader` maps the file read-only and verifies pages
+lazily: bytes are CRC-checked the first time a page is faulted in, not
+at open, so cold-start cost is proportional to the manifest — not the
+catalog.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..reliability.checkpoint import atomic_write_bytes
+from .layout import TableSpec
+
+
+def page_crc32s(data: bytes, page_nbytes: int) -> List[int]:
+    """CRC32 of each ``page_nbytes`` slice of ``data`` (last may be short)."""
+    if page_nbytes < 1:
+        raise ValueError("page_nbytes must be >= 1")
+    return [
+        zlib.crc32(data[start : start + page_nbytes])
+        for start in range(0, len(data), page_nbytes)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Manifest-side integrity record of one shard file."""
+
+    file: str
+    nbytes: int
+    sha256: str
+    page_crcs: Tuple[int, ...]
+
+    def to_manifest(self) -> dict:
+        return {
+            "file": self.file,
+            "nbytes": self.nbytes,
+            "sha256": self.sha256,
+            "page_crcs": list(self.page_crcs),
+        }
+
+    @classmethod
+    def from_manifest(cls, doc: dict) -> "ShardInfo":
+        return cls(
+            file=str(doc["file"]),
+            nbytes=int(doc["nbytes"]),
+            sha256=str(doc["sha256"]),
+            page_crcs=tuple(int(c) for c in doc["page_crcs"]),
+        )
+
+
+def write_shard(
+    directory: Union[str, Path],
+    filename: str,
+    data: bytes,
+    page_nbytes: int,
+) -> ShardInfo:
+    """Atomically write one shard file; returns its integrity record."""
+    path = Path(directory) / filename
+    digest = atomic_write_bytes(path, data)
+    return ShardInfo(
+        file=filename,
+        nbytes=len(data),
+        sha256=digest,
+        page_crcs=tuple(page_crc32s(data, page_nbytes)),
+    )
+
+
+class ShardReader:
+    """Read-only mmap view of one shard file with CRC-checked pages.
+
+    ``read_page`` returns ``(data, ok)``: ``ok`` is ``False`` when the
+    page's bytes are missing (file shorter than the manifest says — a
+    torn write) or fail their manifest CRC (bit rot).  The reader never
+    raises for damage; quarantine policy belongs to the store.
+    """
+
+    def __init__(self, path: Union[str, Path], spec: TableSpec, shard: int,
+                 info: ShardInfo) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.shard = shard
+        self.info = info
+        self._mmap: Optional[mmap.mmap] = None
+        self._file = None
+        self._size = 0
+        self._opened = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._opened:
+            return
+        self._opened = True
+        try:
+            self._file = open(self.path, "rb")
+            self._size = os.fstat(self._file.fileno()).st_size
+            if self._size > 0:
+                self._mmap = mmap.mmap(
+                    self._file.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except OSError:
+            # Missing/unreadable file: every page reads as damaged.
+            self.close()
+            self._opened = True
+
+    def close(self) -> None:
+        """Release the mapping (repair reopens a fresh one)."""
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._size = 0
+        self._opened = False
+
+    # -- page access ----------------------------------------------------
+    def read_page(self, page: int) -> Tuple[bytes, bool]:
+        """``(bytes, ok)`` for one page, verified against its CRC."""
+        start, stop = self.spec.page_byte_range(self.shard, page)
+        if not 0 <= page < len(self.info.page_crcs):
+            return b"", False
+        self._ensure_open()
+        if self._mmap is None or stop > self._size:
+            # Torn write / truncation: the page is (partly) gone.
+            return b"", False
+        data = bytes(self._mmap[start:stop])
+        if zlib.crc32(data) != self.info.page_crcs[page]:
+            return data, False
+        return data, True
+
+    def raw_bytes(self) -> bytes:
+        """Whatever is on disk right now (may be short; repair input)."""
+        self._ensure_open()
+        if self._mmap is None:
+            return b""
+        return bytes(self._mmap[: self._size])

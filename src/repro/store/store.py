@@ -1,0 +1,563 @@
+"""The out-of-core embedding store engine.
+
+:class:`EmbeddingStore` turns a directory of checksummed, fixed-width
+shard files into a row-addressable table service:
+
+* **build** — arrays land shard-by-shard through the atomic
+  ``tmp → fsync → rename`` path, then a self-checksummed manifest is
+  written strictly last; a crash anywhere leaves either the previous
+  store or no manifest, never a half-described one;
+* **open** — parses and self-verifies the manifest only; shard files
+  are mmap'd lazily, so cold-start cost is O(manifest), not O(catalog);
+* **read** — rows are gathered through a bounded LRU page cache
+  (:class:`repro.core.cache.LRUDict`, the serving-cache idiom); pages
+  are CRC-verified on first fault, and a failed page joins the
+  quarantine set instead of crashing the reader — subsequent touches
+  raise :class:`QuarantinedRowError`, which the resilient serving
+  facade resolves stale → fallback;
+* **scrub / verify** — an eager sweep over every page, quarantining
+  (or just reporting) damage;
+* **repair** — quarantined pages are rebuilt byte-exactly from a
+  sibling replica store (or a store built from the last good
+  checkpoint), re-verified against *this* manifest's CRCs, and
+  rewritten atomically.
+
+Every counter lives under ``store.*`` in a
+:class:`repro.obs.metrics.MetricsRegistry`, and nothing here touches
+the wall clock or an unseeded RNG — two identical call sequences
+produce byte-identical metrics, which the storage-chaos gate diffs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.cache import LRUDict
+from ..obs.metrics import MetricsRegistry
+from ..reliability.checkpoint import atomic_write_bytes
+from .errors import QuarantinedRowError, StoreManifestError, StoreSchemaError
+from .layout import (
+    DEFAULT_PAGE_BYTES,
+    MANIFEST_NAME,
+    STORE_VERSION,
+    TableSpec,
+    parse_manifest,
+    seal_manifest,
+    canonical_json,
+    shard_filename,
+    spec_for_array,
+    shard_row_ids,
+    specs_from_manifest,
+)
+from .shard import ShardInfo, ShardReader, write_shard
+
+#: ``(table, shard, page)`` — the quarantine / cache addressing unit.
+PageKey = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of one :meth:`EmbeddingStore.scrub` / ``verify`` sweep."""
+
+    pages_scanned: int
+    pages_bad: int
+    bad_pages: Tuple[PageKey, ...]
+
+    @property
+    def clean(self) -> bool:
+        return self.pages_bad == 0
+
+    def as_row(self) -> str:
+        return (
+            f"scrub: {self.pages_scanned} pages scanned | "
+            f"{self.pages_bad} bad | "
+            f"quarantined {list(self.bad_pages)}"
+        )
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one :meth:`EmbeddingStore.repair` pass."""
+
+    pages_repaired: int
+    pages_unrepairable: int
+    repaired: Tuple[PageKey, ...]
+    unrepairable: Tuple[PageKey, ...]
+
+    @property
+    def complete(self) -> bool:
+        return self.pages_unrepairable == 0
+
+    def as_row(self) -> str:
+        return (
+            f"repair: {self.pages_repaired} pages repaired | "
+            f"{self.pages_unrepairable} unrepairable | "
+            f"fixed {list(self.repaired)}"
+        )
+
+
+@dataclass
+class _Table:
+    """Runtime state of one table: spec, shard records, readers."""
+
+    spec: TableSpec
+    shards: List[ShardInfo]
+    readers: Dict[int, ShardReader] = field(default_factory=dict)
+
+
+class EmbeddingStore:
+    """Checksummed, mmap-backed, quarantine-aware embedding tables."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        tables: Dict[str, _Table],
+        metadata: Dict,
+        page_bytes: int,
+        cache_pages: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self._tables = tables
+        self.metadata = metadata
+        self.page_bytes = page_bytes
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._cache = LRUDict(max(1, cache_pages))
+        self.quarantine: set = set()
+        self._hits_c = self.metrics.counter(
+            "store.page_hits", help="Page-cache hits"
+        )
+        self._faults_c = self.metrics.counter(
+            "store.page_faults", help="Pages faulted in from disk"
+        )
+        self._evictions_c = self.metrics.counter(
+            "store.page_evictions", help="Page-cache evictions"
+        )
+        self._crc_failures_c = self.metrics.counter(
+            "store.crc_failures", help="Pages that failed CRC verification"
+        )
+        self._quarantined_c = self.metrics.counter(
+            "store.pages_quarantined", help="Pages placed in quarantine"
+        )
+        self._quarantined_reads_c = self.metrics.counter(
+            "store.quarantined_reads", help="Row reads denied by quarantine"
+        )
+        self._scrub_pages_c = self.metrics.counter(
+            "store.scrub_pages", help="Pages scanned by scrub/verify"
+        )
+        self._repaired_c = self.metrics.counter(
+            "store.pages_repaired", help="Quarantined pages rebuilt"
+        )
+        self._unrepairable_c = self.metrics.counter(
+            "store.pages_unrepairable", help="Quarantined pages with no good source"
+        )
+        self._bytes_read_c = self.metrics.counter(
+            "store.bytes_read", help="Payload bytes faulted in from disk"
+        )
+        self._quarantine_g = self.metrics.gauge(
+            "store.quarantine_size", help="Pages currently quarantined"
+        )
+        self._cache_g = self.metrics.gauge(
+            "store.cached_pages", help="Pages resident in the LRU cache"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        directory: Union[str, Path],
+        arrays: Mapping[str, np.ndarray],
+        *,
+        num_shards: int = 1,
+        layout: str = "contiguous",
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        metadata: Optional[Mapping] = None,
+        cache_pages: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "EmbeddingStore":
+        """Write a store for ``arrays`` and return it opened.
+
+        Shard payloads land first (each atomically), the sealed manifest
+        strictly last — the checkpoint discipline, so a crash mid-build
+        leaves no manifest and the directory reads as "no store" rather
+        than a torn one.  Same arrays, same parameters → byte-identical
+        files, which the chaos gate diffs across runs.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if not arrays:
+            raise StoreSchemaError("a store needs at least one table")
+        tables: Dict[str, _Table] = {}
+        manifest_tables: Dict[str, dict] = {}
+        for name in sorted(arrays):
+            array = np.ascontiguousarray(arrays[name])
+            spec = spec_for_array(name, array, num_shards, layout, page_bytes)
+            page_nbytes = spec.rows_per_page * spec.row_nbytes
+            infos: List[ShardInfo] = []
+            for shard in range(spec.num_shards):
+                rows = shard_row_ids(spec, shard)
+                data = array[rows].tobytes() if rows else b""
+                infos.append(
+                    write_shard(
+                        directory,
+                        shard_filename(name, shard),
+                        data,
+                        page_nbytes,
+                    )
+                )
+            entry = spec.to_manifest()
+            entry["shards"] = [info.to_manifest() for info in infos]
+            manifest_tables[name] = entry
+            tables[name] = _Table(spec=spec, shards=infos)
+        document = seal_manifest(
+            {
+                "version": STORE_VERSION,
+                "page_bytes": page_bytes,
+                "metadata": dict(metadata) if metadata is not None else {},
+                "tables": manifest_tables,
+            }
+        )
+        atomic_write_bytes(
+            directory / MANIFEST_NAME,
+            canonical_json(document),
+        )
+        store = cls(
+            directory,
+            tables,
+            document["metadata"],
+            page_bytes,
+            cache_pages=cache_pages,
+            registry=registry,
+        )
+        store._attach_readers()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        *,
+        cache_pages: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "EmbeddingStore":
+        """Open an existing store, verifying only the manifest.
+
+        Shard bytes are *not* touched here: page CRCs verify lazily on
+        first fault, so a server cold-starts on a catalog far larger
+        than its page-cache budget.  A damaged manifest fails closed
+        with :class:`StoreManifestError`.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreManifestError(f"no store manifest under {directory}")
+        document = parse_manifest(manifest_path.read_bytes())
+        specs = specs_from_manifest(document)
+        tables: Dict[str, _Table] = {}
+        for name, spec in specs.items():
+            entries = document["tables"][name].get("shards")
+            if not isinstance(entries, list) or len(entries) != spec.num_shards:
+                raise StoreManifestError(
+                    f"table {name!r}: manifest lists "
+                    f"{0 if not isinstance(entries, list) else len(entries)} "
+                    f"shards, spec says {spec.num_shards}"
+                )
+            try:
+                infos = [ShardInfo.from_manifest(entry) for entry in entries]
+            except (KeyError, TypeError, ValueError) as error:
+                raise StoreManifestError(
+                    f"table {name!r}: malformed shard entry ({error})"
+                ) from error
+            tables[name] = _Table(spec=spec, shards=infos)
+        store = cls(
+            directory,
+            tables,
+            document.get("metadata", {}),
+            int(document.get("page_bytes", DEFAULT_PAGE_BYTES)),
+            cache_pages=cache_pages,
+            registry=registry,
+        )
+        store._attach_readers()
+        return store
+
+    def _attach_readers(self) -> None:
+        for name, table in self._tables.items():
+            table.readers = {
+                shard: ShardReader(
+                    self.directory / info.file, table.spec, shard, info
+                )
+                for shard, info in enumerate(table.shards)
+            }
+
+    def close(self) -> None:
+        """Release every mmap (tests and repair re-open as needed)."""
+        for table in self._tables.values():
+            for reader in table.readers.values():
+                reader.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def spec(self, name: str) -> TableSpec:
+        return self._table(name).spec
+
+    def _table(self, name: str) -> _Table:
+        if name not in self._tables:
+            raise StoreSchemaError(f"store has no table {name!r}")
+        return self._tables[name]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across every table."""
+        return sum(t.spec.nbytes for t in self._tables.values())
+
+    def quarantined_pages(self) -> List[PageKey]:
+        """The quarantine set, sorted for deterministic reports."""
+        return sorted(self.quarantine)
+
+    def quarantined_rows(self, name: str) -> List[int]:
+        """Global row ids of ``name`` currently unreadable, ascending."""
+        table = self._table(name)
+        rows: List[int] = []
+        for key_name, shard, page in self.quarantine:
+            if key_name != name:
+                continue
+            start, stop = table.spec.page_rows(shard, page)
+            rows.extend(
+                table.spec.global_row(shard, local)
+                for local in range(start, stop)
+            )
+        return sorted(rows)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _load_page(self, name: str, shard: int, page: int) -> bytes:
+        """One page through the cache; quarantines CRC failures."""
+        key: PageKey = (name, shard, page)
+        if key in self.quarantine:
+            self._quarantined_reads_c.inc()
+            raise QuarantinedRowError(
+                name, self._tables[name].spec.global_row(
+                    shard, page * self._tables[name].spec.rows_per_page
+                ), shard, page
+            )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits_c.inc()
+            return cached
+        table = self._tables[name]
+        data, ok = table.readers[shard].read_page(page)
+        self._faults_c.inc()
+        self._bytes_read_c.inc(len(data))
+        if not ok:
+            self._crc_failures_c.inc()
+            self._quarantine_page(key)
+            self._quarantined_reads_c.inc()
+            raise QuarantinedRowError(
+                name,
+                table.spec.global_row(shard, page * table.spec.rows_per_page),
+                shard,
+                page,
+            )
+        evicted = self._cache.put(key, data)
+        if evicted:
+            self._evictions_c.inc(evicted)
+        self._cache_g.set(len(self._cache))
+        return data
+
+    def _quarantine_page(self, key: PageKey) -> None:
+        if key not in self.quarantine:
+            self.quarantine.add(key)
+            self._quarantined_c.inc()
+            self._quarantine_g.set(len(self.quarantine))
+        self._cache.discard(key)
+
+    def read_row(self, name: str, row: int) -> np.ndarray:
+        """One row as a fresh array of the table's row shape."""
+        table = self._table(name)
+        spec = table.spec
+        if row < 0:
+            row += spec.rows
+        shard, local = spec.locate(int(row))
+        page = spec.page_of(local)
+        data = self._load_page(name, shard, page)
+        offset = (local - page * spec.rows_per_page) * spec.row_nbytes
+        out = np.frombuffer(
+            data, dtype=spec.dtype, count=spec.row_elems, offset=offset
+        ).reshape(spec.row_shape)
+        return out.copy()
+
+    def read_rows(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Gather ``rows`` (any integer shape) → ``rows.shape + row_shape``.
+
+        Damage surfaces per-request: the first quarantined page touched
+        raises :class:`QuarantinedRowError` naming a row on it.
+        """
+        table = self._table(name)
+        spec = table.spec
+        index = np.asarray(rows)
+        if index.dtype == np.bool_:
+            raise TypeError("boolean masks are not supported by the store")
+        flat = index.reshape(-1).astype(np.int64)
+        flat = np.where(flat < 0, flat + spec.rows, flat)
+        if flat.size and (flat.min() < 0 or flat.max() >= spec.rows):
+            bad = flat[(flat < 0) | (flat >= spec.rows)][0]
+            raise IndexError(
+                f"row {int(bad)} out of range for table {name!r} "
+                f"({spec.rows} rows)"
+            )
+        out = np.empty((flat.size, spec.row_elems), dtype=spec.dtype)
+        for position, row in enumerate(flat):
+            shard, local = spec.locate(int(row))
+            page = spec.page_of(local)
+            data = self._load_page(name, shard, page)
+            offset = (local - page * spec.rows_per_page) * spec.row_nbytes
+            out[position] = np.frombuffer(
+                data, dtype=spec.dtype, count=spec.row_elems, offset=offset
+            )
+        return out.reshape(index.shape + spec.row_shape)
+
+    def read_table(self, name: str) -> np.ndarray:
+        """Materialize a whole table (through the page cache)."""
+        spec = self._table(name).spec
+        return self.read_rows(name, np.arange(spec.rows, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Scrub / verify
+    # ------------------------------------------------------------------
+    def _sweep(self, quarantine: bool) -> ScrubReport:
+        scanned, bad = 0, []
+        for name in self.table_names():
+            table = self._tables[name]
+            for shard in range(table.spec.num_shards):
+                for page in range(table.spec.shard_pages(shard)):
+                    scanned += 1
+                    self._scrub_pages_c.inc()
+                    key: PageKey = (name, shard, page)
+                    if key in self.quarantine:
+                        bad.append(key)
+                        continue
+                    _, ok = table.readers[shard].read_page(page)
+                    if not ok:
+                        bad.append(key)
+                        self._crc_failures_c.inc()
+                        if quarantine:
+                            self._quarantine_page(key)
+        return ScrubReport(
+            pages_scanned=scanned,
+            pages_bad=len(bad),
+            bad_pages=tuple(sorted(bad)),
+        )
+
+    def scrub(self) -> ScrubReport:
+        """Eagerly verify every page, quarantining the damaged ones."""
+        return self._sweep(quarantine=True)
+
+    def verify(self) -> ScrubReport:
+        """Report-only :meth:`scrub`: nothing is quarantined."""
+        return self._sweep(quarantine=False)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(self, replica: "EmbeddingStore") -> RepairReport:
+        """Rebuild quarantined pages from a sibling replica store.
+
+        ``replica`` is any store holding the same tables — a mirrored
+        build, or one reconstructed from the last good checkpoint.
+        Donor pages are verified against the *replica's* manifest CRC
+        first and against *this* manifest's CRC after patching, so a
+        corrupt donor can never be stitched in.  Patched shard files are
+        rewritten atomically; a fully repaired shard is byte-identical
+        to the original build.
+        """
+        repaired: List[PageKey] = []
+        unrepairable: List[PageKey] = []
+        by_shard: Dict[Tuple[str, int], List[int]] = {}
+        for name, shard, page in sorted(self.quarantine):
+            by_shard.setdefault((name, shard), []).append(page)
+        for (name, shard), pages in sorted(by_shard.items()):
+            table = self._tables[name]
+            spec = table.spec
+            info = table.shards[shard]
+            try:
+                donor_table = replica._table(name)
+            except StoreSchemaError:
+                unrepairable.extend((name, shard, page) for page in pages)
+                continue
+            if donor_table.spec != spec:
+                unrepairable.extend((name, shard, page) for page in pages)
+                continue
+            current = bytearray(table.readers[shard].raw_bytes())
+            if len(current) < info.nbytes:  # torn write: restore length
+                current.extend(b"\x00" * (info.nbytes - len(current)))
+            patched: List[int] = []
+            for page in pages:
+                donor, ok = donor_table.readers[shard].read_page(page)
+                start, stop = spec.page_byte_range(shard, page)
+                if not ok or len(donor) != stop - start:
+                    unrepairable.append((name, shard, page))
+                    continue
+                if zlib.crc32(donor) != info.page_crcs[page]:
+                    # Donor disagrees with OUR manifest — wrong replica.
+                    unrepairable.append((name, shard, page))
+                    continue
+                current[start:stop] = donor
+                patched.append(page)
+            if not patched:
+                continue
+            table.readers[shard].close()
+            atomic_write_bytes(self.directory / info.file, bytes(current))
+            for page in patched:
+                key: PageKey = (name, shard, page)
+                self.quarantine.discard(key)
+                self._cache.discard(key)
+                repaired.append(key)
+        if repaired:
+            self._repaired_c.inc(len(repaired))
+            self._quarantine_g.set(len(self.quarantine))
+        if unrepairable:
+            self._unrepairable_c.inc(len(unrepairable))
+        return RepairReport(
+            pages_repaired=len(repaired),
+            pages_unrepairable=len(unrepairable),
+            repaired=tuple(sorted(repaired)),
+            unrepairable=tuple(sorted(unrepairable)),
+        )
+
+    # ------------------------------------------------------------------
+    # Manifest recovery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def restore_manifest(
+        directory: Union[str, Path], replica_directory: Union[str, Path]
+    ) -> Path:
+        """Atomically re-copy a validated manifest from a replica.
+
+        The recovery path for a truncated / corrupted manifest: shard
+        payloads may be fine, but nothing can be trusted without a
+        manifest, so the replica's (self-verified first) is installed
+        and a subsequent :meth:`open` + :meth:`scrub` decides which
+        pages actually need repair.
+        """
+        source = Path(replica_directory) / MANIFEST_NAME
+        if not source.exists():
+            raise StoreManifestError(
+                f"replica has no manifest under {replica_directory}"
+            )
+        payload = source.read_bytes()
+        parse_manifest(payload)  # fail closed on a damaged donor
+        target = Path(directory) / MANIFEST_NAME
+        atomic_write_bytes(target, payload)
+        return target

@@ -105,3 +105,34 @@ class TestRefusal:
     def test_nothing_saved_is_refused(self, tmp_path):
         with pytest.raises(IndexSnapshotError, match="manifest"):
             load_index(tmp_path / "never-written")
+
+    def test_truncated_payload_is_refused(self, saved):
+        """Torn write: the payload stops mid-file.  The checksum gate
+        must refuse it before any array is materialized."""
+        payload = saved.with_suffix(".npz")
+        blob = payload.read_bytes()
+        payload.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IndexSnapshotError, match="checksum"):
+            load_index(saved)
+
+    def test_post_checksum_bit_flip_is_refused(self, saved):
+        """Bit rot after save: one flipped bit anywhere in the payload
+        (here near the tail, past where headers would mask it) must
+        fail the manifest checksum."""
+        payload = saved.with_suffix(".npz")
+        blob = bytearray(payload.read_bytes())
+        blob[-3] ^= 0x01
+        payload.write_bytes(bytes(blob))
+        with pytest.raises(IndexSnapshotError, match="checksum"):
+            load_index(saved)
+
+    def test_refusal_leaves_no_partial_state(self, saved, tmp_path):
+        """A refused load mutates nothing on disk — no temp files, no
+        partially written artifacts a retry could trip over."""
+        payload = saved.with_suffix(".npz")
+        blob = payload.read_bytes()
+        payload.write_bytes(blob[: len(blob) // 2])
+        before = sorted(p.name for p in tmp_path.iterdir())
+        with pytest.raises(IndexSnapshotError):
+            load_index(saved)
+        assert sorted(p.name for p in tmp_path.iterdir()) == before

@@ -40,6 +40,53 @@ class TestAtomicWrite:
         with np.load(path) as data:
             assert np.array_equal(data["table"], table)
 
+    def test_temp_names_are_unique_within_one_process(self, tmp_path):
+        """Regression: a pid-only temp suffix collides when two threads
+        write the same destination — one rename can then promote the
+        other thread's half-written bytes.  The sequence number makes
+        every in-flight temp file distinct."""
+        import threading
+
+        path = tmp_path / "contended.bin"
+        payloads = [bytes([worker]) * 4096 for worker in range(8)]
+        errors = []
+
+        def write(payload):
+            try:
+                for _ in range(25):
+                    atomic_write_bytes(path, payload)
+            except OSError as error:  # tmp collision surfaces here
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=write, args=(payload,))
+            for payload in payloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # The survivor is one writer's payload, intact — never a blend.
+        assert path.read_bytes() in payloads
+        assert [p for p in tmp_path.iterdir() if ".tmp." in p.name] == []
+
+    def test_concurrent_writes_to_distinct_paths(self, tmp_path):
+        import threading
+
+        def write(index):
+            atomic_write_bytes(tmp_path / f"{index}.bin", bytes([index]) * 64)
+
+        threads = [
+            threading.Thread(target=write, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(16):
+            assert (tmp_path / f"{index}.bin").read_bytes() == bytes([index]) * 64
+
 
 class TestRngState:
     def test_roundtrip_reproduces_stream(self):

@@ -1,0 +1,33 @@
+"""Fixtures for the out-of-core store suite: small seeded tables."""
+
+import numpy as np
+import pytest
+
+from repro.store import EmbeddingStore
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "entity_table": rng.standard_normal((37, 4)),
+        "relation_table": rng.standard_normal((5, 4)),
+        "transfer": rng.standard_normal((5, 4, 4)),
+        "item_ids": np.arange(0, 74, 2, dtype=np.int64)[:12],
+        "key_relations": rng.integers(0, 5, size=(12, 2)).astype(np.int64),
+    }
+
+
+@pytest.fixture()
+def store(tmp_path, arrays):
+    """A freshly built 3-shard store with small pages (multi-page shards)."""
+    built = EmbeddingStore.build(
+        tmp_path / "store",
+        arrays,
+        num_shards=3,
+        page_bytes=128,
+        cache_pages=4,
+        metadata={"kind": "test"},
+    )
+    yield built
+    built.close()

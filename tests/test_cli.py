@@ -268,3 +268,78 @@ class TestIndexCommand:
         assert "recall@10" in out
         for kind in ("flat", "ivf", "ivfpq"):
             assert f"{kind} | " in out
+
+
+class TestStoreCommand:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["store", "build", "--out", "st"])
+        assert args.command == "store"
+        assert args.store_command == "build"
+        assert args.shards == 2
+        assert args.page_bytes == 4096
+        args = parser.parse_args(["store", "chaos", "--dir", "w"])
+        assert args.torn == 1 and args.flips == 2
+        assert args.torn_manifest is False
+        with pytest.raises(SystemExit):  # verify requires --dir
+            parser.parse_args(["store", "verify"])
+        with pytest.raises(SystemExit):  # a subcommand is required
+            parser.parse_args(["store"])
+
+    def test_build_then_verify_clean(self, tmp_path, capsys):
+        out = tmp_path / "st"
+        assert main(["store", "build", "--preset", "smoke", "--out", str(out)]) == 0
+        built = capsys.readouterr().out
+        assert "entity_table" in built
+        assert (out / "manifest.json").exists()
+        assert main(["store", "verify", "--preset", "smoke", "--dir", str(out)]) == 0
+        assert "0 bad" in capsys.readouterr().out
+
+    def test_scrub_flags_corruption(self, tmp_path, capsys):
+        out = tmp_path / "st"
+        main(["store", "build", "--preset", "smoke", "--out", str(out)])
+        capsys.readouterr()
+        target = next(iter(sorted(out.glob("entity_table-*.bin"))))
+        blob = bytearray(target.read_bytes())
+        blob[10] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        assert main(["store", "scrub", "--preset", "smoke", "--dir", str(out)]) == 1
+        scrubbed = capsys.readouterr().out
+        assert "1 bad" in scrubbed
+        assert "quarantined rows" in scrubbed
+
+    def test_verify_refuses_torn_manifest(self, tmp_path, capsys):
+        out = tmp_path / "st"
+        main(["store", "build", "--preset", "smoke", "--out", str(out)])
+        capsys.readouterr()
+        manifest = out / "manifest.json"
+        manifest.write_bytes(manifest.read_bytes()[:100])
+        assert main(["store", "verify", "--preset", "smoke", "--dir", str(out)]) == 2
+        assert "REFUSED" in capsys.readouterr().out
+
+    def test_builds_are_byte_identical(self, tmp_path, capsys):
+        for run in ("r1", "r2"):
+            assert main(
+                ["store", "build", "--preset", "smoke", "--out", str(tmp_path / run)]
+            ) == 0
+        capsys.readouterr()
+        names = sorted(p.name for p in (tmp_path / "r1").iterdir())
+        assert names == sorted(p.name for p in (tmp_path / "r2").iterdir())
+        for name in names:
+            assert (tmp_path / "r1" / name).read_bytes() == (
+                tmp_path / "r2" / name
+            ).read_bytes(), name
+
+    def test_chaos_drill_recovers_and_is_deterministic(self, tmp_path, capsys):
+        argv = [
+            "store", "chaos", "--preset", "smoke",
+            "--torn", "1", "--flips", "2", "--torn-manifest",
+        ]
+        assert main(argv + ["--dir", str(tmp_path / "w1")]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--dir", str(tmp_path / "w2")]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "chaos drill: RECOVERED" in first
+        assert "0 mismatches" in first
+        assert "refused torn manifest" in first

@@ -59,6 +59,29 @@ diff "$OBS_TMP/search1.txt" "$OBS_TMP/search2.txt"
 echo "index snapshots and search results are byte-identical across reruns"
 
 echo
+echo "== storage chaos (repro store, byte-diffed recovery) =="
+# Seeded torn-write + bit-flip + torn-manifest drill over a small
+# store: the run must end RECOVERED (manifest refused then restored,
+# every quarantined page repaired from the replica, zero serving
+# mismatches, zero escaped exceptions) and the full report — fault
+# offsets, scrub/repair accounting, store.* metrics — must be
+# byte-identical across two runs.
+python -m repro.cli store chaos --preset smoke --dir "$OBS_TMP/chaos1" \
+    --torn 1 --flips 2 --torn-manifest > "$OBS_TMP/chaos1.txt"
+python -m repro.cli store chaos --preset smoke --dir "$OBS_TMP/chaos2" \
+    --torn 1 --flips 2 --torn-manifest > "$OBS_TMP/chaos2.txt"
+diff "$OBS_TMP/chaos1.txt" "$OBS_TMP/chaos2.txt"
+grep -q "chaos drill: RECOVERED" "$OBS_TMP/chaos1.txt"
+# Recovery is byte-deterministic on disk too: both repaired stores
+# must match a fresh build file-for-file.
+python -m repro.cli store build --preset smoke --out "$OBS_TMP/chaos-ref" > /dev/null
+for f in "$OBS_TMP"/chaos-ref/*; do
+    cmp "$f" "$OBS_TMP/chaos1/primary/$(basename "$f")"
+    cmp "$f" "$OBS_TMP/chaos2/primary/$(basename "$f")"
+done
+echo "storage-chaos recovery is byte-identical across reruns"
+
+echo
 echo "== repro.lint (per-file + whole-program) =="
 # One pass over every Python tree: per-file rules plus the
 # whole-program passes (import/call graphs, determinism taint,

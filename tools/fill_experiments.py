@@ -34,6 +34,10 @@ MAPPING = {
     "ABL_DIST": "ablation_distributed.txt",
     "ABL_FAULTS": "ablation_faults.txt",
     "ABL_RULES": "ablation_rules.txt",
+    "ABL_OVERLOAD": "overload_serving.txt",
+    "OBS_OVERHEAD": "obs_overhead.txt",
+    "IDX_RETRIEVAL": "index_retrieval.txt",
+    "STORE_OOC": "store_out_of_core.txt",
     "EXT_ATTR": "extension_attribute_prediction.txt",
 }
 
