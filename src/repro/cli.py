@@ -644,6 +644,96 @@ def cmd_store(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown store subcommand {args.store_command!r}")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the supervised multi-process worker pool.
+
+    ``chaos`` runs the process-level kill drill: a seeded mixed
+    workload over N forked workers, SIGKILLs at fixed request indices,
+    and an exactly-once transcript that is byte-identical across runs
+    (stdout carries only deterministic lines — the check.sh gate diffs
+    two runs; operational counters go to stderr under ``--verbose``).
+    ``loadtest`` measures real wall-clock QPS and latency percentiles,
+    so its timing lines are *not* deterministic by design.
+    """
+    import time
+    from pathlib import Path
+
+    from .serving import (
+        ChaosConfig,
+        PoolConfig,
+        ServeLoadConfig,
+        Supervisor,
+        run_kill_drill,
+        run_serve_loadtest,
+    )
+
+    config = _load_config(args)
+    workdir = Path(args.dir)
+    store_dir = workdir / "store"
+    server = _untrained_server(config)
+    server.save_store(
+        store_dir, num_shards=args.store_shards, page_bytes=args.page_bytes
+    ).close()
+    items = server.known_items()
+
+    if args.serve_command == "chaos":
+        kills = max(0, args.kills)
+        kill_at = tuple(
+            (slot + 1) * args.requests // (kills + 1) for slot in range(kills)
+        )
+        kill_workers = tuple(slot % args.workers for slot in range(kills))
+        report = run_kill_drill(
+            store_dir,
+            items,
+            ChaosConfig(
+                requests=args.requests,
+                workers=args.workers,
+                kill_at=kill_at,
+                kill_workers=kill_workers,
+                window=args.window,
+                seed=config.seed,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+                scrub_pages_per_tick=args.scrub_pages,
+            ),
+        )
+        for line in report.lines():
+            print(line)
+        if args.verbose:
+            for line in report.detail_lines():
+                print(line, file=sys.stderr)
+        return 0 if report.ok else 1
+
+    if args.serve_command == "loadtest":
+        pool = Supervisor(
+            store_dir,
+            PoolConfig(
+                num_workers=args.workers,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+            ),
+        )
+        pool.start()
+        try:
+            report = run_serve_loadtest(
+                pool,
+                items,
+                ServeLoadConfig(
+                    requests=args.requests,
+                    window=args.window,
+                    seed=config.seed,
+                ),
+                timer=time.perf_counter,
+            )
+        finally:
+            pool.shutdown()
+        for row in report.as_rows():
+            print(row)
+        return 0
+
+    raise ValueError(f"unknown serve subcommand {args.serve_command!r}")
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run the seeded serving workload and export its telemetry.
 
@@ -874,6 +964,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="also truncate the manifest (restored from the replica)",
     )
     schaos.add_argument("--fault-seed", type=int, default=0)
+    srv = sub.add_parser(
+        "serve", help="supervised multi-process worker pool drills"
+    )
+    srvsub = srv.add_subparsers(dest="serve_command", required=True)
+
+    def serve_common(p: argparse.ArgumentParser) -> None:
+        common(p)
+        p.add_argument(
+            "--dir", type=str, required=True, help="work directory for the store"
+        )
+        p.add_argument("--workers", type=int, default=3)
+        p.add_argument("--requests", type=int, default=240)
+        p.add_argument("--window", type=int, default=8)
+        p.add_argument("--max-batch", type=int, default=4)
+        p.add_argument("--max-delay", type=float, default=0.004)
+        p.add_argument("--store-shards", type=int, default=2)
+        p.add_argument("--page-bytes", type=int, default=4096)
+
+    srvchaos = srvsub.add_parser(
+        "chaos",
+        help="SIGKILL workers mid-load; assert exactly-once responses",
+    )
+    serve_common(srvchaos)
+    srvchaos.add_argument(
+        "--kills", type=int, default=2, help="workers to SIGKILL mid-drill"
+    )
+    srvchaos.add_argument(
+        "--scrub-pages",
+        type=int,
+        default=0,
+        help="pages scrubbed per idle supervisor tick (0 disables)",
+    )
+    srvload = srvsub.add_parser(
+        "loadtest", help="wall-clock QPS and latency percentiles for the pool"
+    )
+    serve_common(srvload)
     lint = sub.add_parser(
         "lint",
         parents=[lint_cli.build_parser()],
@@ -895,6 +1021,7 @@ COMMANDS = {
     "loadtest": cmd_loadtest,
     "index": cmd_index,
     "store": cmd_store,
+    "serve": cmd_serve,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": lint_cli.run_lint,

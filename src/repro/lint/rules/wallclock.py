@@ -64,6 +64,7 @@ class WallClockInReliabilityRule(Rule):
             "repro/obs/",
             "repro/index/",
             "repro/store/",
+            "repro/serving/",
         )
         #: ``time``-module attribute names treated as wall-clock reads.
         self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import inspect
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -305,6 +306,10 @@ class GatewayStats:
     deadline_queue_misses = counter_view(
         "gateway.deadline_queue_misses", help="Deadlines blown in queue"
     )
+    deadline_rejected = counter_view(
+        "gateway.deadline_rejected",
+        help="Arrivals with an already-expired budget, refused pre-dispatch",
+    )
     deadline_backend_misses = counter_view(
         "gateway.deadline_backend_misses", help="Deadlines blown in backend"
     )
@@ -330,6 +335,7 @@ class GatewayStats:
         shed_evicted: int = 0,
         shed_draining: int = 0,
         deadline_queue_misses: int = 0,
+        deadline_rejected: int = 0,
         deadline_backend_misses: int = 0,
         backend_errors: int = 0,
         hedges_sent: int = 0,
@@ -349,6 +355,7 @@ class GatewayStats:
         self.shed_evicted = shed_evicted
         self.shed_draining = shed_draining
         self.deadline_queue_misses = deadline_queue_misses
+        self.deadline_rejected = deadline_rejected
         self.deadline_backend_misses = deadline_backend_misses
         self.backend_errors = backend_errors
         self.hedges_sent = hedges_sent
@@ -452,6 +459,12 @@ class PKGMGateway:
         self._next_id = 0
         self._seq = 0
         self._rr = 0  # round-robin primary-replica cursor
+        # Serializes the public surface so genuinely concurrent clients
+        # (threads submitting while another drains) see a consistent
+        # state machine: a submit observes either pre-drain SERVING or
+        # post-drain QUIESCED, never a half-drained middle.  Reentrant
+        # because drain/step call back into the shared internals.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Surface
@@ -466,10 +479,12 @@ class PKGMGateway:
 
     def inflight_count(self) -> int:
         """Requests started but not yet completed (at the current time)."""
-        return len(self._inflight)
+        with self._lock:
+            return len(self._inflight)
 
     def queued_count(self) -> int:
-        return len(self.admission.queue)
+        with self._lock:
+            return len(self.admission.queue)
 
     # ------------------------------------------------------------------
     # Request path
@@ -483,18 +498,19 @@ class PKGMGateway:
         shed; otherwise ``None`` — the answer will be emitted by a
         later :meth:`step` / :meth:`drain`.
         """
-        now = self.clock.now()
-        self._advance(now)
-        self.stats.arrived += 1
-        request = GatewayRequest(
-            request_id=self._next_id,
-            entity_id=int(entity_id),
-            priority=int(priority),
-            arrival=now,
-            deadline_at=now + self.config.deadline_budget,
-        )
-        self._next_id += 1
-        return self._offer(request, now)
+        with self._lock:
+            now = self.clock.now()
+            self._advance(now)
+            self.stats.arrived += 1
+            request = GatewayRequest(
+                request_id=self._next_id,
+                entity_id=int(entity_id),
+                priority=int(priority),
+                arrival=now,
+                deadline_at=now + self.config.deadline_budget,
+            )
+            self._next_id += 1
+            return self._offer(request, now)
 
     def submit_retrieval(
         self,
@@ -502,6 +518,7 @@ class PKGMGateway:
         relation: int,
         k: int = 10,
         priority: int = 0,
+        budget: Optional[float] = None,
     ) -> Optional[GatewayResponse]:
         """Offer one nearest-tails query at the current virtual time.
 
@@ -511,23 +528,39 @@ class PKGMGateway:
         never an exception.  Retrieval calls are not hedged: replicas
         lazily build their own tail index, so duplicating a cold query
         would double the most expensive call in the system.
+
+        ``budget`` overrides the configured deadline budget for this
+        request (a caller propagating an upstream deadline).  A budget
+        that is already spent (``<= 0``) is rejected *here*, before
+        admission and before any replica is touched — the degraded
+        ``"deadline"`` answer is returned immediately and counted under
+        ``deadline_rejected``.
         """
-        now = self.clock.now()
-        self._advance(now)
-        self.stats.arrived += 1
-        self.stats.retrievals += 1
-        request = GatewayRequest(
-            request_id=self._next_id,
-            entity_id=int(entity_id),
-            priority=int(priority),
-            arrival=now,
-            deadline_at=now + self.config.deadline_budget,
-            kind="retrieve",
-            relation=int(relation),
-            k=int(k),
-        )
-        self._next_id += 1
-        return self._offer(request, now)
+        with self._lock:
+            now = self.clock.now()
+            self._advance(now)
+            self.stats.arrived += 1
+            self.stats.retrievals += 1
+            effective = (
+                self.config.deadline_budget if budget is None else float(budget)
+            )
+            request = GatewayRequest(
+                request_id=self._next_id,
+                entity_id=int(entity_id),
+                priority=int(priority),
+                arrival=now,
+                deadline_at=now + effective,
+                kind="retrieve",
+                relation=int(relation),
+                k=int(k),
+            )
+            self._next_id += 1
+            if effective <= 0:
+                self.stats.deadline_rejected += 1
+                return self._degraded_response(
+                    request, "deadline", now, hedged=False, hedge_won=False
+                )
+            return self._offer(request, now)
 
     def _offer(
         self, request: GatewayRequest, now: float
@@ -554,9 +587,10 @@ class PKGMGateway:
 
     def step(self) -> List[GatewayResponse]:
         """Emit every response completed up to the current virtual time."""
-        self._advance(self.clock.now())
-        done, self._done = self._done, []
-        return done
+        with self._lock:
+            self._advance(self.clock.now())
+            done, self._done = self._done, []
+            return done
 
     # ------------------------------------------------------------------
     # Drain / swap lifecycle
@@ -569,19 +603,20 @@ class PKGMGateway:
         advanced to each scheduled completion, so nothing is dropped.
         Returns the responses emitted during the drain.
         """
-        self.state = DRAINING
-        self.stats.drains += 1
-        while self._inflight or len(self.admission.queue):
-            if not self._inflight:
-                self._fill_slots(self.clock.now())
-                continue
-            next_at = self._inflight[0].at
-            if next_at > self.clock.now():
-                self.clock.advance(next_at - self.clock.now())
-            self._advance(self.clock.now())
-        self.state = QUIESCED
-        done, self._done = self._done, []
-        return done
+        with self._lock:
+            self.state = DRAINING
+            self.stats.drains += 1
+            while self._inflight or len(self.admission.queue):
+                if not self._inflight:
+                    self._fill_slots(self.clock.now())
+                    continue
+                next_at = self._inflight[0].at
+                if next_at > self.clock.now():
+                    self.clock.advance(next_at - self.clock.now())
+                self._advance(self.clock.now())
+            self.state = QUIESCED
+            done, self._done = self._done, []
+            return done
 
     def swap(self, server) -> None:
         """``quiesced → serving``: install a refreshed snapshot.
@@ -589,15 +624,16 @@ class PKGMGateway:
         Requires a completed :meth:`drain` first — swapping under live
         traffic would hand in-flight requests a changing model.
         """
-        if self.state != QUIESCED:
-            raise RuntimeError(
-                f"swap requires the quiesced state (currently {self.state!r}); "
-                "call drain() first"
-            )
-        for replica in self.replicas:
-            replica.swap(server)
-        self.stats.swaps += 1
-        self.state = SERVING
+        with self._lock:
+            if self.state != QUIESCED:
+                raise RuntimeError(
+                    f"swap requires the quiesced state (currently {self.state!r}); "
+                    "call drain() first"
+                )
+            for replica in self.replicas:
+                replica.swap(server)
+            self.stats.swaps += 1
+            self.state = SERVING
 
     # ------------------------------------------------------------------
     # Internals: the discrete-event engine
@@ -695,6 +731,11 @@ class PKGMGateway:
         self, request: GatewayRequest, budget: float
     ) -> BackendOutcome:
         """One unhedged nearest-tails call on the round-robin primary."""
+        if budget <= 0:
+            # Defense in depth: submit_retrieval rejects spent budgets
+            # before admission, so a non-positive budget here means a
+            # scheduling bug — still never dispatch it.
+            return BackendOutcome(None, 0.0, "deadline")
         primary = self.replicas[self._rr % len(self.replicas)]
         self._rr += 1
         payload, latency, reason = primary.retrieve_timed(

@@ -75,6 +75,20 @@ class DegradationStats:
     same numbers.
     """
 
+    #: Every registry-backed counter attribute, in declaration order —
+    #: the single list :meth:`snapshot` and :meth:`reset` iterate, so a
+    #: new counter added above cannot be silently missed by either.
+    COUNTER_FIELDS = (
+        "requests",
+        "served_live",
+        "served_stale",
+        "fallback_unknown",
+        "fallback_error",
+        "fallback_quarantined",
+        "deadline_exceeded",
+        "breaker_short_circuits",
+    )
+
     requests = counter_view("serving.requests", help="Requests offered")
     served_live = counter_view("serving.served_live", help="Live answers")
     served_stale = counter_view("serving.served_stale", help="Stale-cache answers")
@@ -115,6 +129,23 @@ class DegradationStats:
         self.fallback_quarantined = fallback_quarantined
         self.deadline_exceeded = deadline_exceeded
         self.breaker_short_circuits = breaker_short_circuits
+
+    def snapshot(self) -> dict:
+        """Counter name → value, a plain-int copy safe to diff or log."""
+        return {name: int(getattr(self, name)) for name in self.COUNTER_FIELDS}
+
+    def reset(self) -> None:
+        """Zero every counter *through* its registry view.
+
+        Assignment goes through the ``counter_view`` descriptor
+        (``set_total`` on the registry instrument), so the registry
+        stays attached: post-reset increments keep landing in the same
+        ``serving.*`` instruments and the next registry snapshot shows
+        the zeroed values — which is what lets two loadtest runs over
+        one facade be diffed cleanly.
+        """
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, 0)
 
     @property
     def degraded_rate(self) -> float:

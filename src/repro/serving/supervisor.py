@@ -1,0 +1,743 @@
+"""The supervision tree: fork, monitor, restart, replay, fail over.
+
+:class:`Supervisor` owns N worker processes forked over one
+:class:`~repro.store.EmbeddingStore` directory.  Each worker opens the
+store read-only (its own mmaps, page cache, and quarantine set) and is
+the affinity target for the entities whose
+:func:`~repro.serving.protocol.shard_of` maps to it; because every
+worker can read every row, that affinity is a locality optimization —
+failing a request over to the next live sibling is always correct.
+
+Exactly-once semantics under crashes come from three rules:
+
+1. **Terminal map.**  Every submitted request gets exactly one entry in
+   the terminal-response map, keyed by request id; a result arriving
+   for an already-terminal id (only possible through races the death
+   handler already resolved) is counted and dropped.
+2. **Drain before replay.**  When a worker dies, every *complete*
+   response frame still sitting in its socket buffer is credited
+   first; only the requests that remain unanswered are orphans.  An
+   orphan is replayed to the next live sibling under its original
+   idempotency key — or failed fast (outcome ``"deadline"`` /
+   ``"failed"``) if its virtual deadline passed or its attempt budget
+   is spent.  Nothing is silently dropped, nothing runs twice.
+3. **Restart is async.**  The dead worker is re-forked immediately but
+   routes no traffic until its ``("ready", ...)`` handshake; in the
+   interim its shard's requests fail over to siblings.
+
+Blocking reads carry a real-time ``select`` timeout purely as a hang
+backstop (a SIGKILLed worker produces an immediate EOF; the timeout
+only matters for a *wedged* worker, which is then treated as dead).
+Request deadlines, coalescing delays, and the chaos/loadtest drivers
+all run on the virtual StepClock, so drill outcomes are deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import select
+import signal
+import socket as socketlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.service import ServiceVectors
+from ..obs.metrics import MetricsRegistry
+from ..reliability.retry import RPCError, StepClock
+from ..store import EmbeddingStore, ScrubScheduler
+from ..store.errors import QuarantinedRowError
+from .coalescer import Batch, Coalescer, CoalescerConfig
+from .protocol import (
+    PoolRequest,
+    PoolResponse,
+    ProtocolError,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    STATUS_UNKNOWN,
+    drain_frames,
+    payload_checksum,
+    recv_frame,
+    send_frame,
+    shard_of,
+)
+from .worker import worker_main
+
+#: Worker lifecycle states.
+DOWN, STARTING, UP, DEAD = "down", "starting", "up", "dead"
+
+
+class PoolError(RPCError):
+    """The pool cannot answer (no live workers / worker-side failure).
+
+    An :class:`RPCError` subclass on purpose: the gateway's
+    ``TimedBackend`` and the resilient facade already translate
+    ``RPCError`` into degraded answers, so wrapping a pool needs no new
+    plumbing.
+    """
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Knobs for one supervised worker pool."""
+
+    num_workers: int = 2
+    max_batch: int = 16
+    max_delay: float = 0.002  # virtual seconds, see Coalescer
+    deadline_budget: float = 64.0  # virtual seconds per request
+    max_attempts: int = 2  # dispatches per request (1 original + replays)
+    cache_pages: int = 64  # per-worker page-cache budget
+    io_timeout: float = 30.0  # real seconds; hang backstop on blocking reads
+    start_timeout: float = 30.0  # real seconds; worker ready handshake
+    restart_limit: int = 8  # restarts per worker slot before giving up
+    scrub_pages_per_tick: int = 0  # 0 disables background scrubbing
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.deadline_budget <= 0:
+            raise ValueError("deadline_budget must be positive")
+
+
+class WorkerHandle:
+    """Supervisor-side state of one worker slot."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.sock = None
+        self.state = DOWN
+        self.inflight: Dict[int, PoolRequest] = {}
+        self.restarts = 0
+        self.served_total = 0  # last reported by a pong
+        self.pong_seq = -1
+
+    @property
+    def routable(self) -> bool:
+        return self.state == UP
+
+
+class Supervisor:
+    """A supervised multi-process worker pool over one embedding store."""
+
+    def __init__(
+        self,
+        store_dir: Union[str, Path],
+        config: Optional[PoolConfig] = None,
+        *,
+        clock: Optional[StepClock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self.config = config if config is not None else PoolConfig()
+        self.clock = clock if clock is not None else StepClock()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.coalescer = Coalescer(
+            self.clock,
+            CoalescerConfig(
+                max_batch=self.config.max_batch,
+                max_delay=self.config.max_delay,
+            ),
+            registry=self.metrics,
+        )
+        # The supervisor reads only geometry/metadata from the store
+        # (workers own the data plane); the handle stays open when the
+        # background scrubber needs pages to sweep.
+        store = EmbeddingStore.open(self.store_dir, registry=self.metrics)
+        metadata = store.metadata
+        if metadata.get("kind") != "pkgm-server":
+            store.close()
+            raise PoolError(
+                f"store at {self.store_dir} is not a pkgm-server snapshot"
+            )
+        self.k = int(metadata["k"])
+        self.dim = int(metadata["dim"])
+        self.num_entities = store.spec("entity_table").rows
+        self.num_relations = store.spec("relation_table").rows
+        self.scrubber: Optional[ScrubScheduler] = None
+        if self.config.scrub_pages_per_tick > 0:
+            self._store = store
+            self.scrubber = ScrubScheduler(
+                store,
+                pages_per_tick=self.config.scrub_pages_per_tick,
+                registry=self.metrics,
+            )
+        else:
+            store.close()
+            self._store = None
+        self.workers = [
+            WorkerHandle(index) for index in range(self.config.num_workers)
+        ]
+        self._ctx = multiprocessing.get_context("fork")
+        self._terminal: Dict[int, PoolResponse] = {}
+        self._pending: Dict[int, PoolRequest] = {}
+        self._emitted: List[PoolResponse] = []
+        self._next_id = 0
+        self._ping_seq = 0
+        self._requests_c = self.metrics.counter(
+            "pool.requests", help="Requests submitted to the pool"
+        )
+        self._responses_c = self.metrics.counter(
+            "pool.responses", help="Terminal responses recorded"
+        )
+        self._batches_c = self.metrics.counter(
+            "pool.batches_sent", help="Batches dispatched to workers"
+        )
+        self._deaths_c = self.metrics.counter(
+            "pool.worker_deaths", help="Worker crashes / heartbeat losses"
+        )
+        self._restarts_c = self.metrics.counter(
+            "pool.worker_restarts", help="Workers re-forked after a death"
+        )
+        self._replays_c = self.metrics.counter(
+            "pool.replays", help="Orphaned requests replayed to a sibling"
+        )
+        self._failfast_deadline_c = self.metrics.counter(
+            "pool.failfast_deadline", help="Requests failed fast: deadline"
+        )
+        self._failfast_attempts_c = self.metrics.counter(
+            "pool.failfast_attempts", help="Requests failed fast: attempts spent"
+        )
+        self._duplicates_c = self.metrics.counter(
+            "pool.duplicates_dropped", help="Late results for terminal requests"
+        )
+        self._failovers_c = self.metrics.counter(
+            "pool.failovers", help="Batches routed off their primary shard"
+        )
+        self._heartbeats_c = self.metrics.counter(
+            "pool.heartbeats", help="Heartbeat pings sent"
+        )
+        self._heartbeat_losses_c = self.metrics.counter(
+            "pool.heartbeat_losses", help="Heartbeats that timed out"
+        )
+        self._idle_scrub_c = self.metrics.counter(
+            "pool.idle_scrub_ticks", help="Idle ticks spent scrubbing"
+        )
+        self._workers_up_g = self.metrics.gauge(
+            "pool.workers_up", help="Workers in the routable (up) state"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Fork every worker and wait for all ready handshakes."""
+        for handle in self.workers:
+            self._spawn(handle)
+        self._await_ready(self.workers)
+
+    def shutdown(self) -> None:
+        """Stop every worker and close the pool."""
+        for handle in self.workers:
+            if handle.sock is not None:
+                try:
+                    send_frame(handle.sock, ("shutdown",))
+                except OSError:  # repro-lint: disable=bare-except
+                    pass  # best-effort farewell; the peer may already be dead
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=5.0)
+            if handle.sock is not None:
+                handle.sock.close()
+                handle.sock = None
+            handle.state = DOWN
+        self._update_up_gauge()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        parent_sock, child_sock = socketlib.socketpair()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child_sock,
+                str(self.store_dir),
+                handle.index,
+                self.config.cache_pages,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        handle.process = process
+        handle.sock = parent_sock
+        handle.state = STARTING
+        handle.inflight = {}
+
+    def _await_ready(self, handles: List[WorkerHandle]) -> None:
+        waiting = [h for h in handles if h.state == STARTING]
+        while waiting:
+            socks = [h.sock for h in waiting]
+            readable, _, _ = select.select(socks, [], [], self.config.start_timeout)
+            if not readable:
+                for handle in waiting:
+                    self._on_worker_death(handle, reason="start-timeout")
+                raise PoolError(
+                    f"{len(waiting)} worker(s) missed the ready handshake"
+                )
+            for handle in list(waiting):
+                if handle.sock in readable:
+                    self._read_one(handle)
+            waiting = [h for h in handles if h.state == STARTING]
+            dead = [h for h in handles if h.state == DEAD]
+            if dead:
+                raise PoolError(
+                    f"worker(s) {[h.index for h in dead]} failed to start"
+                )
+
+    def _update_up_gauge(self) -> None:
+        self._workers_up_g.set(sum(1 for h in self.workers if h.state == UP))
+
+    # ------------------------------------------------------------------
+    # Submission / dispatch
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        entity_id: int,
+        relation: int = -1,
+        k: int = 10,
+        budget: Optional[float] = None,
+    ) -> int:
+        """Offer one request; returns its request id.
+
+        A non-positive ``budget`` is rejected *before* any coalescing
+        or dispatch with a terminal ``"deadline"`` outcome — the same
+        pre-dispatch contract the gateway's retrieval path enforces.
+        """
+        now = self.clock.now()
+        effective = (
+            self.config.deadline_budget if budget is None else float(budget)
+        )
+        request_id = self._next_id
+        self._next_id += 1
+        self._requests_c.inc()
+        request = PoolRequest(
+            request_id=request_id,
+            idempotency_key=f"{kind}:{int(entity_id)}:{int(relation)}:{int(k)}:{request_id}",
+            kind=kind,
+            entity_id=int(entity_id),
+            relation=int(relation),
+            k=int(k),
+            deadline_at=now + effective,
+            shard=shard_of(entity_id, self.config.num_workers),
+        )
+        if effective <= 0:
+            self._failfast_deadline_c.inc()
+            self._record(self._supervisor_outcome(request, "deadline"))
+            return request_id
+        self._pending[request_id] = request
+        for batch in self.coalescer.offer(request):
+            self._dispatch(batch)
+        return request_id
+
+    def pump(self) -> None:
+        """Non-blocking housekeeping: flush due batches, read results."""
+        for batch in self.coalescer.due():
+            self._dispatch(batch)
+        self._poll(timeout=0.0)
+
+    def tick(self) -> None:
+        """One idle tick: housekeeping plus a background scrub slice.
+
+        The scrubber runs only when the pool is actually idle — no
+        in-flight batches, nothing buffered — so sweeps never compete
+        with foreground traffic for the supervisor loop.
+        """
+        self.pump()
+        if (
+            self.scrubber is not None
+            and not self._inflight_total()
+            and not self.coalescer.pending()
+        ):
+            self._idle_scrub_c.inc()
+            self.scrubber.tick()
+
+    def outstanding(self) -> int:
+        """Requests submitted but not yet terminal."""
+        return len(self._pending)
+
+    def responses(self) -> List[PoolResponse]:
+        """Pop every terminal response recorded since the last call."""
+        emitted, self._emitted = self._emitted, []
+        return emitted
+
+    def wait_any(self) -> None:
+        """Block until at least one new response is recorded.
+
+        Forces the coalescer when nothing is in flight (the blocking
+        caller cannot advance virtual time, so waiting out ``max_delay``
+        would deadlock).
+        """
+        before = self._responses_c.value
+        while self._responses_c.value == before:
+            if not self._inflight_total():
+                batches = self.coalescer.flush_all()
+                if not batches and not self._pending:
+                    return
+                for batch in batches:
+                    self._dispatch(batch)
+                continue
+            self._poll(timeout=self.config.io_timeout, hang_is_death=True)
+
+    def drain(self) -> List[PoolResponse]:
+        """Force-flush and answer everything outstanding."""
+        while self._pending:
+            self.wait_any()
+        return self.responses()
+
+    def terminal(self) -> Dict[int, PoolResponse]:
+        """A copy of the terminal-response map (request id → response)."""
+        return dict(self._terminal)
+
+    def _inflight_total(self) -> int:
+        return sum(len(h.inflight) for h in self.workers)
+
+    def _route(self, shard: int) -> Tuple[WorkerHandle, bool]:
+        """The live worker for ``shard``: primary, else the next sibling."""
+        for offset in range(self.config.num_workers):
+            handle = self.workers[(shard + offset) % self.config.num_workers]
+            if handle.routable:
+                return handle, offset != 0
+        starting = [h for h in self.workers if h.state == STARTING]
+        if starting:
+            self._await_ready(starting)
+            return self._route(shard)
+        raise PoolError("no live workers to route to")
+
+    def _dispatch(self, batch: Batch) -> None:
+        now = self.clock.now()
+        live: List[PoolRequest] = []
+        for request in batch.requests:
+            if request.request_id in self._terminal:
+                continue
+            if now >= request.deadline_at:
+                self._failfast_deadline_c.inc()
+                self._record(self._supervisor_outcome(request, "deadline"))
+                continue
+            live.append(request)
+        if not live:
+            return
+        handle, failed_over = self._route(batch.shard)
+        if failed_over:
+            self._failovers_c.inc()
+        items = [(r.request_id, r.entity_id, r.relation) for r in live]
+        for request in live:
+            handle.inflight[request.request_id] = request
+        self._batches_c.inc()
+        if self.tracer is not None:
+            with self.tracer.span(
+                "pool.batch",
+                worker=handle.index,
+                kind=batch.kind,
+                size=len(items),
+            ):
+                self._send_batch(handle, batch, items)
+        else:
+            self._send_batch(handle, batch, items)
+
+    def _send_batch(self, handle: WorkerHandle, batch: Batch, items) -> None:
+        try:
+            send_frame(handle.sock, ("batch", batch.kind, batch.k, items))
+        except OSError:
+            self._on_worker_death(handle, reason="send-error")
+
+    # ------------------------------------------------------------------
+    # Reading / completion
+    # ------------------------------------------------------------------
+    def _poll(self, timeout: float, hang_is_death: bool = False) -> None:
+        socks = {
+            h.sock: h
+            for h in self.workers
+            if h.sock is not None and h.state in (UP, STARTING)
+        }
+        if not socks:
+            return
+        readable, _, _ = select.select(list(socks), [], [], timeout)
+        if not readable:
+            if hang_is_death and timeout > 0:
+                # Nothing read within the backstop while work is in
+                # flight: the owing worker is wedged.  Treat every
+                # worker with in-flight work as lost.
+                for handle in list(socks.values()):
+                    if handle.inflight:
+                        self._heartbeat_losses_c.inc()
+                        self._on_worker_death(handle, reason="hang")
+            return
+        for sock in readable:
+            self._read_one(socks[sock])
+
+    def _read_one(self, handle: WorkerHandle) -> None:
+        try:
+            message = recv_frame(handle.sock)
+        except (OSError, ProtocolError):
+            self._on_worker_death(handle, reason="torn-frame")
+            return
+        if message is None:
+            self._on_worker_death(handle, reason="eof")
+            return
+        self._handle_frame(handle, message)
+
+    def _handle_frame(self, handle: WorkerHandle, message) -> None:
+        tag = message[0]
+        if tag == "ready":
+            handle.state = UP
+            self._update_up_gauge()
+            return
+        if tag == "fail":
+            self._on_worker_death(handle, reason="start-failure")
+            return
+        if tag == "pong":
+            handle.pong_seq = int(message[1])
+            handle.served_total = int(message[2])
+            return
+        if tag == "results":
+            _, worker_id, results = message
+            for request_id, status, payload in results:
+                self._complete(handle, int(worker_id), request_id, status, payload)
+
+    def _complete(
+        self, handle: WorkerHandle, worker_id: int, request_id: int, status, payload
+    ) -> None:
+        request = handle.inflight.pop(request_id, None)
+        if request is None:
+            request = self._pending.get(request_id)
+        if request_id in self._terminal:
+            self._duplicates_c.inc()
+            return
+        if request is None:
+            # A result for a request the pool never issued: protocol
+            # drift; count it with the duplicates rather than crash.
+            self._duplicates_c.inc()
+            return
+        checksum = (
+            payload_checksum(request.kind, payload) if status == STATUS_OK else 0
+        )
+        self._record(
+            PoolResponse(
+                request_id=request_id,
+                idempotency_key=request.idempotency_key,
+                kind=request.kind,
+                entity_id=request.entity_id,
+                relation=request.relation,
+                outcome=status,
+                payload=payload,
+                checksum=checksum,
+                worker=worker_id,
+                replayed=request.attempts > 0,
+            )
+        )
+
+    def _record(self, response: PoolResponse) -> None:
+        if response.request_id in self._terminal:
+            self._duplicates_c.inc()
+            return
+        self._terminal[response.request_id] = response
+        self._pending.pop(response.request_id, None)
+        self._emitted.append(response)
+        self._responses_c.inc()
+
+    def _supervisor_outcome(self, request: PoolRequest, outcome: str) -> PoolResponse:
+        return PoolResponse(
+            request_id=request.request_id,
+            idempotency_key=request.idempotency_key,
+            kind=request.kind,
+            entity_id=request.entity_id,
+            relation=request.relation,
+            outcome=outcome,
+            payload=None,
+            checksum=0,
+            worker=-1,
+            replayed=request.attempts > 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Death, replay, restart
+    # ------------------------------------------------------------------
+    def _on_worker_death(self, handle: WorkerHandle, reason: str) -> None:
+        if handle.state == DEAD:
+            return
+        was_starting = handle.state == STARTING
+        handle.state = DEAD
+        self._deaths_c.inc()
+        self._update_up_gauge()
+        if handle.sock is not None:
+            # Credit every response the worker finished writing before
+            # it died — rule 2: drain before replay.
+            for message in drain_frames(handle.sock):
+                self._handle_frame(handle, message)
+            handle.sock.close()
+            handle.sock = None
+        if handle.process is not None:
+            handle.process.join(timeout=5.0)
+        orphans = [
+            handle.inflight[request_id]
+            for request_id in sorted(handle.inflight)
+            if request_id not in self._terminal
+        ]
+        handle.inflight = {}
+        now = self.clock.now()
+        replayable: List[PoolRequest] = []
+        for request in orphans:
+            if now >= request.deadline_at:
+                self._failfast_deadline_c.inc()
+                self._record(self._supervisor_outcome(request, "deadline"))
+            elif request.attempts + 1 >= self.config.max_attempts:
+                self._failfast_attempts_c.inc()
+                self._record(self._supervisor_outcome(request, "failed"))
+            else:
+                replayable.append(request)
+        if not was_starting and handle.restarts < self.config.restart_limit:
+            handle.restarts += 1
+            self._restarts_c.inc()
+            self._spawn(handle)
+        if replayable:
+            self._replay(replayable)
+
+    def _replay(self, requests: List[PoolRequest]) -> None:
+        """Re-dispatch orphans immediately, grouped like the coalescer."""
+        groups: Dict[Tuple[int, str, int], List[PoolRequest]] = {}
+        for request in requests:
+            self._replays_c.inc()
+            retried = PoolRequest(
+                request_id=request.request_id,
+                idempotency_key=request.idempotency_key,
+                kind=request.kind,
+                entity_id=request.entity_id,
+                relation=request.relation,
+                k=request.k,
+                deadline_at=request.deadline_at,
+                shard=request.shard,
+                attempts=request.attempts + 1,
+            )
+            self._pending[request.request_id] = retried
+            key = (retried.shard, retried.kind, retried.k)
+            groups.setdefault(key, []).append(retried)
+        for (shard, kind, k), members in sorted(groups.items()):
+            self._dispatch(
+                Batch(shard=shard, kind=kind, k=k, requests=tuple(members))
+            )
+
+    # ------------------------------------------------------------------
+    # Heartbeats / chaos hooks
+    # ------------------------------------------------------------------
+    def ping_all(self, timeout: Optional[float] = None) -> int:
+        """Heartbeat every routable worker; returns pongs received.
+
+        A worker that neither answers nor EOFs within ``timeout`` real
+        seconds is declared dead (its in-flight work replays or fails
+        fast exactly as for a crash).
+        """
+        timeout = self.config.io_timeout if timeout is None else timeout
+        self._ping_seq += 1
+        sequence = self._ping_seq
+        targets = [h for h in self.workers if h.state == UP]
+        for handle in targets:
+            self._heartbeats_c.inc()
+            try:
+                send_frame(handle.sock, ("ping", sequence))
+            except OSError:
+                self._on_worker_death(handle, reason="send-error")
+        pongs = 0
+        for handle in targets:
+            if handle.state != UP:
+                continue
+            while handle.pong_seq < sequence and handle.state == UP:
+                readable, _, _ = select.select([handle.sock], [], [], timeout)
+                if not readable:
+                    self._heartbeat_losses_c.inc()
+                    self._on_worker_death(handle, reason="heartbeat")
+                    break
+                self._read_one(handle)
+            if handle.pong_seq >= sequence:
+                pongs += 1
+        return pongs
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker process (the chaos harness's crash lever).
+
+        Death is *not* marked here: the supervisor discovers it the
+        same way it discovers a real crash — EOF on the socket — so the
+        drill exercises the genuine detection path.
+        """
+        handle = self.workers[index]
+        if handle.process is not None and handle.process.is_alive():
+            os.kill(handle.process.pid, signal.SIGKILL)
+            handle.process.join(timeout=5.0)
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [
+            h.process.pid if h.process is not None else None for h in self.workers
+        ]
+
+    def alive_workers(self) -> int:
+        return sum(1 for h in self.workers if h.state == UP)
+
+    # ------------------------------------------------------------------
+    # Synchronous server surface (what the gateway wraps)
+    # ------------------------------------------------------------------
+    def _call(
+        self, kind: str, entity_id: int, relation: int = -1, k: int = 10
+    ) -> PoolResponse:
+        request_id = self.submit(kind, entity_id, relation=relation, k=k)
+        for batch in self.coalescer.flush_all():
+            self._dispatch(batch)
+        while request_id not in self._terminal:
+            self._poll(timeout=self.config.io_timeout, hang_is_death=True)
+            if request_id in self._terminal:
+                break
+            if not self._inflight_total():
+                for batch in self.coalescer.flush_all():
+                    self._dispatch(batch)
+        # Sync calls answer inline; keep them out of the async stream.
+        self._emitted = [
+            r for r in self._emitted if r.request_id != request_id
+        ]
+        return self._terminal[request_id]
+
+    def _raise_for(self, response: PoolResponse):
+        if response.outcome == STATUS_UNKNOWN:
+            raise KeyError(response.entity_id)
+        if response.outcome == STATUS_QUARANTINED and isinstance(
+            response.payload, tuple
+        ):
+            table, row, shard, page = response.payload
+            raise QuarantinedRowError(table, int(row), int(shard), int(page))
+        raise PoolError(
+            f"request {response.request_id} failed with {response.outcome!r}"
+        )
+
+    def serve(self, entity_id: int) -> ServiceVectors:
+        """Service vectors for one item, computed by a worker process."""
+        response = self._call("serve", entity_id)
+        if response.outcome != STATUS_OK:
+            self._raise_for(response)
+        key_relations, triple, relation = response.payload
+        return ServiceVectors(
+            entity_id=int(entity_id),
+            key_relations=key_relations,
+            triple_vectors=triple,
+            relation_vectors=relation,
+        )
+
+    def nearest_tails(self, entity_id: int, relation: int, k: int = 10):
+        """One nearest-tails query, answered by a worker process."""
+        response = self._call("retrieve", entity_id, relation=relation, k=k)
+        if response.outcome != STATUS_OK:
+            self._raise_for(response)
+        distances, neighbor_ids = response.payload
+        return distances, neighbor_ids
+
+    def relation_existence_score(self, entity_id: int, relation: int) -> float:
+        response = self._call("exist", entity_id, relation=relation)
+        if response.outcome != STATUS_OK:
+            self._raise_for(response)
+        return float(response.payload)

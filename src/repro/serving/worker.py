@@ -1,0 +1,200 @@
+"""Child-process entry point: serve batched requests over one store.
+
+A worker is forked by the :class:`~repro.serving.supervisor.Supervisor`
+with one end of a ``socketpair``.  It opens the embedding store
+read-only (its own mmap handles, its own page cache, its own
+quarantine set — nothing is shared with the parent), announces
+``("ready", ...)``, then answers ``("batch", ...)`` frames until EOF
+or ``("shutdown",)``.
+
+Batches exploit the kernels the server already has: an ``"exist"``
+batch is one :meth:`PKGMServer.relation_existence_scores` call and a
+``"retrieve"`` batch one :meth:`PKGMServer.nearest_tails_batch` call
+(the coalescer groups by ``k`` so the whole batch shares one search).
+Per-item failures — unknown ids, quarantined pages — degrade that one
+item to an error status, never the batch and never the process.
+
+Everything here is deliberately crash-isolated: the function touches
+no module-level state, never prints, and treats any socket error as
+"the supervisor is gone" and exits.  Killing a worker with SIGKILL at
+any instruction leaves the store files untouched (they are opened
+read-only) and at most one torn frame in the socket, which the
+supervisor's :func:`~repro.serving.protocol.drain_frames` discards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..store.errors import QuarantinedRowError
+from .protocol import (
+    ProtocolError,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    STATUS_UNKNOWN,
+    recv_frame,
+    send_frame,
+)
+
+#: (request_id, entity_id, relation) — one wire item of a batch.
+WireItem = Tuple[int, int, int]
+#: (request_id, status, payload) — one wire result.
+WireResult = Tuple[int, str, object]
+
+
+def _quarantine_info(error: QuarantinedRowError) -> Tuple[str, int, int, int]:
+    """The fields needed to re-raise the error supervisor-side."""
+    return (error.table, error.row, error.shard, error.page)
+
+
+def _serve_item(server, request_id: int, entity_id: int) -> WireResult:
+    try:
+        vectors = server.serve(int(entity_id))
+    except QuarantinedRowError as error:
+        return (request_id, STATUS_QUARANTINED, _quarantine_info(error))
+    except (KeyError, IndexError):
+        return (request_id, STATUS_UNKNOWN, None)
+    return (
+        request_id,
+        STATUS_OK,
+        (vectors.key_relations, vectors.triple_vectors, vectors.relation_vectors),
+    )
+
+
+def _exist_item(server, request_id: int, entity_id: int, relation: int) -> WireResult:
+    try:
+        score = server.relation_existence_score(int(entity_id), int(relation))
+    except QuarantinedRowError as error:
+        return (request_id, STATUS_QUARANTINED, _quarantine_info(error))
+    except (KeyError, IndexError):
+        return (request_id, STATUS_UNKNOWN, None)
+    return (request_id, STATUS_OK, float(score))
+
+
+def _retrieve_item(
+    server, request_id: int, entity_id: int, relation: int, k: int
+) -> WireResult:
+    try:
+        distances, neighbor_ids = server.nearest_tails(
+            int(entity_id), int(relation), int(k)
+        )
+    except QuarantinedRowError as error:
+        return (request_id, STATUS_QUARANTINED, _quarantine_info(error))
+    except (KeyError, IndexError):
+        return (request_id, STATUS_UNKNOWN, None)
+    return (request_id, STATUS_OK, (distances, neighbor_ids))
+
+
+def _valid_pairs(server, items: Sequence[WireItem]) -> np.ndarray:
+    """Mask of items whose (entity, relation) indices are in range —
+    the precondition for running the whole batch through one kernel."""
+    entities = np.asarray([item[1] for item in items], dtype=np.int64)
+    relations = np.asarray([item[2] for item in items], dtype=np.int64)
+    return (
+        (entities >= 0)
+        & (entities < server.num_entities)
+        & (relations >= 0)
+        & (relations < server.num_relations)
+    )
+
+
+def _exist_batch(server, items: Sequence[WireItem]) -> List[WireResult]:
+    valid = _valid_pairs(server, items)
+    if not valid.all():
+        return [
+            _exist_item(server, rid, entity, relation)
+            if ok
+            else (rid, STATUS_UNKNOWN, None)
+            for ok, (rid, entity, relation) in zip(valid, items)
+        ]
+    entities = [item[1] for item in items]
+    relations = [item[2] for item in items]
+    try:
+        scores = server.relation_existence_scores(entities, relations)
+    except QuarantinedRowError:
+        # One damaged page fails the fused kernel; retry item-by-item so
+        # only the requests that actually touch it degrade.
+        return [_exist_item(server, *item) for item in items]
+    return [
+        (rid, STATUS_OK, float(score))
+        for (rid, _, _), score in zip(items, scores)
+    ]
+
+
+def _retrieve_batch(server, items: Sequence[WireItem], k: int) -> List[WireResult]:
+    valid = _valid_pairs(server, items)
+    if not valid.all():
+        return [
+            _retrieve_item(server, rid, entity, relation, k)
+            if ok
+            else (rid, STATUS_UNKNOWN, None)
+            for ok, (rid, entity, relation) in zip(valid, items)
+        ]
+    heads = [item[1] for item in items]
+    relations = [item[2] for item in items]
+    try:
+        distances, neighbor_ids = server.nearest_tails_batch(heads, relations, k)
+    except QuarantinedRowError:
+        return [_retrieve_item(server, *item, k) for item in items]
+    return [
+        (rid, STATUS_OK, (distances[row], neighbor_ids[row]))
+        for row, (rid, _, _) in enumerate(items)
+    ]
+
+
+def run_batch(server, kind: str, k: int, items: Sequence[WireItem]) -> List[WireResult]:
+    """Answer one coalesced batch; every item gets exactly one result."""
+    if kind == "serve":
+        return [_serve_item(server, rid, entity) for rid, entity, _ in items]
+    if kind == "exist":
+        return _exist_batch(server, items)
+    if kind == "retrieve":
+        return _retrieve_batch(server, items, k)
+    return [(rid, STATUS_ERROR, f"unknown kind {kind!r}") for rid, _, _ in items]
+
+
+def worker_main(
+    sock, store_dir: str, worker_id: int, cache_pages: int = 64
+) -> None:
+    """Process entry: open the store, then serve frames until EOF."""
+    # Imported here, not at module level: the fork inherits the parent's
+    # modules anyway, and keeping this file import-light keeps the
+    # protocol tests free of the numpy-heavy service stack.
+    from ..core.service import PKGMServer
+
+    try:
+        server = PKGMServer.from_store(store_dir, cache_pages=cache_pages)
+    except Exception as error:
+        try:
+            send_frame(sock, ("fail", int(worker_id), repr(error)))
+        except OSError:  # repro-lint: disable=bare-except
+            pass  # supervisor hung up first; it will see EOF regardless
+        return
+    served = 0
+    try:
+        send_frame(sock, ("ready", int(worker_id), int(server.num_entities)))
+        while True:
+            message = recv_frame(sock)
+            if message is None:
+                return
+            tag = message[0]
+            if tag == "shutdown":
+                return
+            if tag == "ping":
+                send_frame(sock, ("pong", message[1], served))
+                continue
+            if tag == "batch":
+                _, kind, k, items = message
+                results = run_batch(server, kind, int(k), items)
+                served += len(items)
+                send_frame(sock, ("results", int(worker_id), results))
+                continue
+            # Unknown frame tag: a protocol drift bug, not recoverable.
+            return
+    except (OSError, ProtocolError):
+        # The supervisor died or the link tore: exit quietly, the
+        # process has no state worth saving.
+        return

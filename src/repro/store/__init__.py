@@ -30,6 +30,7 @@ from .layout import (
     seal_manifest,
     shard_filename,
 )
+from .scrub import ScrubScheduler, ScrubTick
 from .shard import ShardInfo, ShardReader, page_crc32s, write_shard
 from .store import EmbeddingStore, RepairReport, ScrubReport
 from .table import StoreTable
@@ -41,6 +42,8 @@ __all__ = [
     "QuarantinedRowError",
     "RepairReport",
     "ScrubReport",
+    "ScrubScheduler",
+    "ScrubTick",
     "ShardInfo",
     "ShardReader",
     "STORE_VERSION",

@@ -1,0 +1,124 @@
+"""Incremental background scrubbing: find latent damage before reads do.
+
+:meth:`EmbeddingStore.scrub` sweeps the whole store eagerly — fine for
+a CLI invocation, wrong for a serving loop that must stay responsive.
+:class:`ScrubScheduler` splits the same sweep into fixed-size slices:
+each :meth:`~ScrubScheduler.tick` CRC-verifies the next
+``pages_per_tick`` pages (wrapping around at the end, which completes
+one *sweep*), quarantining any damage it finds.
+
+Two properties matter for the serving tier that hosts it:
+
+* **No foreground interference.**  Verification goes through
+  :meth:`EmbeddingStore.check_page` — the raw shard readers — so a
+  sweep never evicts hot pages from the LRU cache and never moves the
+  foreground ``store.page_hits`` / ``store.page_faults`` counters.
+* **Damage is caught ahead of traffic.**  A page the scheduler
+  quarantines fails future row reads immediately with
+  :class:`~repro.store.errors.QuarantinedRowError` — the degraded-read
+  path — instead of handing anyone bytes that fail their CRC.
+
+Progress is observable under ``store.scrub.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+
+PageKey = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class ScrubTick:
+    """What one scheduler tick scanned."""
+
+    pages_scanned: int
+    bad_pages: Tuple[PageKey, ...]
+    newly_quarantined: Tuple[PageKey, ...]
+    wrapped: bool  # this tick completed a full sweep of the store
+
+    @property
+    def clean(self) -> bool:
+        return not self.bad_pages
+
+
+class ScrubScheduler:
+    """Round-robin incremental scrub over one open store."""
+
+    def __init__(
+        self,
+        store,
+        pages_per_tick: int = 4,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if pages_per_tick < 1:
+            raise ValueError("pages_per_tick must be >= 1")
+        self.store = store
+        self.pages_per_tick = pages_per_tick
+        self.metrics = registry if registry is not None else store.metrics
+        # Stores are immutable once sealed, so the page enumeration is
+        # snapshotted once; the cursor persists across ticks.
+        self._keys: List[PageKey] = store.iter_page_keys()
+        self._cursor = 0
+        self._ticks_c = self.metrics.counter(
+            "store.scrub.ticks", help="Scheduler ticks run"
+        )
+        self._pages_c = self.metrics.counter(
+            "store.scrub.pages", help="Pages verified by the scheduler"
+        )
+        self._quarantined_c = self.metrics.counter(
+            "store.scrub.quarantined", help="Pages the scheduler quarantined"
+        )
+        self._sweeps_c = self.metrics.counter(
+            "store.scrub.sweeps", help="Complete sweeps of the store"
+        )
+
+    @property
+    def pages_total(self) -> int:
+        return len(self._keys)
+
+    @property
+    def cursor(self) -> int:
+        """Next page index in the sweep order (wraps at pages_total)."""
+        return self._cursor
+
+    def tick(self) -> ScrubTick:
+        """Verify the next ``pages_per_tick`` pages."""
+        self._ticks_c.inc()
+        if not self._keys:
+            return ScrubTick(0, (), (), wrapped=False)
+        count = min(self.pages_per_tick, len(self._keys))
+        bad: List[PageKey] = []
+        fresh: List[PageKey] = []
+        wrapped = False
+        for _ in range(count):
+            key = self._keys[self._cursor]
+            already = key in self.store.quarantine
+            ok = self.store.check_page(key, quarantine=True)
+            self._pages_c.inc()
+            if not ok:
+                bad.append(key)
+                if not already:
+                    fresh.append(key)
+                    self._quarantined_c.inc()
+            self._cursor += 1
+            if self._cursor >= len(self._keys):
+                self._cursor = 0
+                wrapped = True
+                self._sweeps_c.inc()
+        return ScrubTick(
+            pages_scanned=count,
+            bad_pages=tuple(bad),
+            newly_quarantined=tuple(fresh),
+            wrapped=wrapped,
+        )
+
+    def run_sweep(self) -> List[ScrubTick]:
+        """Tick until one full sweep completes (for tests and drills)."""
+        ticks = [self.tick()]
+        while not ticks[-1].wrapped and self._keys:
+            ticks.append(self.tick())
+        return ticks

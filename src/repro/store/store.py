@@ -436,24 +436,47 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     # Scrub / verify
     # ------------------------------------------------------------------
+    def iter_page_keys(self) -> List[PageKey]:
+        """Every ``(table, shard, page)`` key, in sweep order.
+
+        The canonical enumeration shared by the eager sweeps below and
+        the incremental :class:`~repro.store.scrub.ScrubScheduler`.
+        """
+        keys: List[PageKey] = []
+        for name in self.table_names():
+            spec = self._tables[name].spec
+            for shard in range(spec.num_shards):
+                for page in range(spec.shard_pages(shard)):
+                    keys.append((name, shard, page))
+        return keys
+
+    def check_page(self, key: PageKey, *, quarantine: bool = True) -> bool:
+        """CRC-verify one page without touching the row-read path.
+
+        Reads go through the shard reader directly — never
+        ``_load_page`` — so a background sweep neither pollutes the LRU
+        page cache nor shows up in the foreground hit/fault counters.
+        An already-quarantined page reports ``False`` without a read;
+        a fresh CRC failure is quarantined when ``quarantine`` is set.
+        """
+        name, shard, page = key
+        table = self._table(name)
+        self._scrub_pages_c.inc()
+        if key in self.quarantine:
+            return False
+        _, ok = table.readers[shard].read_page(page)
+        if not ok:
+            self._crc_failures_c.inc()
+            if quarantine:
+                self._quarantine_page(key)
+        return bool(ok)
+
     def _sweep(self, quarantine: bool) -> ScrubReport:
         scanned, bad = 0, []
-        for name in self.table_names():
-            table = self._tables[name]
-            for shard in range(table.spec.num_shards):
-                for page in range(table.spec.shard_pages(shard)):
-                    scanned += 1
-                    self._scrub_pages_c.inc()
-                    key: PageKey = (name, shard, page)
-                    if key in self.quarantine:
-                        bad.append(key)
-                        continue
-                    _, ok = table.readers[shard].read_page(page)
-                    if not ok:
-                        bad.append(key)
-                        self._crc_failures_c.inc()
-                        if quarantine:
-                            self._quarantine_page(key)
+        for key in self.iter_page_keys():
+            scanned += 1
+            if not self.check_page(key, quarantine=quarantine):
+                bad.append(key)
         return ScrubReport(
             pages_scanned=scanned,
             pages_bad=len(bad),

@@ -1,0 +1,166 @@
+"""Wire-protocol tests: framing, torn frames, crash-buffer drains."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    PoolRequest,
+    PoolResponse,
+    ProtocolError,
+    drain_frames,
+    payload_checksum,
+    recv_frame,
+    send_frame,
+    shard_of,
+)
+from repro.serving.protocol import MAX_FRAME_BYTES, decode, encode
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        left, right = pair
+        message = ("batch", "serve", 10, [(0, 3, -1), (1, 5, -1)])
+        send_frame(left, message)
+        assert recv_frame(right) == message
+
+    def test_many_frames_in_order(self, pair):
+        left, right = pair
+        for seq in range(5):
+            send_frame(left, ("ping", seq))
+        for seq in range(5):
+            assert recv_frame(right) == ("ping", seq)
+
+    def test_clean_eof_is_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_torn_frame_raises(self, pair):
+        left, right = pair
+        body = encode(("results", [(0, "ok", None)]))
+        left.sendall(struct.pack(">I", len(body)) + body[: len(body) // 2])
+        left.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_header_only_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 64))
+        left.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_absurd_length_rejected(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_undecodable_body_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 4) + b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_decode_garbage_raises(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not a pickle")
+
+
+class TestDrainFrames:
+    def test_complete_frames_survive_a_dead_peer(self, pair):
+        """The kernel buffer outlives the writer — the drain rule's basis."""
+        left, right = pair
+        send_frame(left, ("results", 0, [(0, "ok", 1.0)]))
+        send_frame(left, ("results", 0, [(1, "ok", 2.0)]))
+        left.close()  # the "crash"
+        frames = drain_frames(right)
+        assert [f[2][0][0] for f in frames] == [0, 1]
+
+    def test_trailing_partial_frame_discarded(self, pair):
+        left, right = pair
+        send_frame(left, ("pong", 1, 7))
+        body = encode(("pong", 2, 9))
+        left.sendall(struct.pack(">I", len(body)) + body[:3])
+        left.close()
+        assert drain_frames(right) == [("pong", 1, 7)]
+
+    def test_empty_buffer_drains_empty(self, pair):
+        left, right = pair
+        assert drain_frames(right) == []
+
+
+class TestShardOf:
+    def test_modulo_rule(self):
+        assert [shard_of(e, 3) for e in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+class TestPayloadChecksum:
+    def test_serve_checksum_is_stable(self):
+        rng = np.random.default_rng(0)
+        payload = (
+            np.array([0, 2], dtype=np.int64),
+            rng.standard_normal((2, 4)),
+            rng.standard_normal((2, 4)),
+        )
+        assert payload_checksum("serve", payload) == payload_checksum(
+            "serve", payload
+        )
+
+    def test_retrieve_checksum_detects_changes(self):
+        distances = np.array([0.1, 0.2])
+        ids = np.array([4, 5], dtype=np.int64)
+        base = payload_checksum("retrieve", (distances, ids))
+        assert payload_checksum("retrieve", (distances + 1, ids)) != base
+
+    def test_exist_checksum_is_float_exact(self):
+        assert payload_checksum("exist", 1.5) == payload_checksum("exist", 1.5)
+        assert payload_checksum("exist", 1.5) != payload_checksum("exist", 1.6)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            payload_checksum("mystery", None)
+
+
+class TestEnvelopes:
+    def test_response_ok_property(self):
+        def response(outcome):
+            return PoolResponse(
+                request_id=0,
+                idempotency_key="k",
+                kind="exist",
+                entity_id=1,
+                relation=0,
+                outcome=outcome,
+                payload=None,
+                checksum=0,
+                worker=0,
+            )
+
+        assert response("ok").ok
+        assert not response("deadline").ok
+
+    def test_request_is_frozen(self):
+        request = PoolRequest(
+            request_id=0,
+            idempotency_key="k",
+            kind="serve",
+            entity_id=1,
+            relation=-1,
+            k=10,
+            deadline_at=1.0,
+            shard=0,
+        )
+        with pytest.raises(AttributeError):
+            request.attempts = 5

@@ -1,0 +1,91 @@
+"""Incremental scrub scheduler: background sweeps, zero foreground cost."""
+
+import pytest
+
+from repro.store import QuarantinedRowError, ScrubScheduler
+from repro.store.layout import shard_filename
+
+from .test_store import flip_byte
+
+
+class TestSweepMechanics:
+    def test_ticks_cover_the_store_exactly_once_per_sweep(self, store):
+        scheduler = ScrubScheduler(store, pages_per_tick=3)
+        ticks = scheduler.run_sweep()
+        assert sum(t.pages_scanned for t in ticks) >= scheduler.pages_total
+        assert sum(1 for t in ticks if t.wrapped) == 1
+        assert scheduler.metrics.counter("store.scrub.sweeps").value == 1
+
+    def test_cursor_wraps_and_persists_across_ticks(self, store):
+        scheduler = ScrubScheduler(store, pages_per_tick=2)
+        first = scheduler.cursor
+        scheduler.tick()
+        assert scheduler.cursor == (first + 2) % scheduler.pages_total
+        scheduler.run_sweep()
+        assert scheduler.metrics.counter("store.scrub.sweeps").value >= 1
+
+    def test_clean_store_sweeps_clean(self, store):
+        scheduler = ScrubScheduler(store, pages_per_tick=4)
+        for tick in scheduler.run_sweep():
+            assert tick.clean
+            assert tick.newly_quarantined == ()
+        assert scheduler.metrics.counter("store.scrub.quarantined").value == 0
+
+    def test_pages_per_tick_validated(self, store):
+        with pytest.raises(ValueError):
+            ScrubScheduler(store, pages_per_tick=0)
+
+
+class TestDamageHandling:
+    def test_planted_damage_is_quarantined_in_background(self, store):
+        """The satellite's acceptance: a bad page is caught and
+        quarantined by ticks alone, without a single foreground read."""
+        flip_byte(store.directory / shard_filename("entity_table", 1))
+        scheduler = ScrubScheduler(store, pages_per_tick=3)
+        ticks = scheduler.run_sweep()
+        bad = [key for tick in ticks for key in tick.newly_quarantined]
+        assert len(bad) == 1
+        assert bad[0][0] == "entity_table" and bad[0][1] == 1
+        assert bad[0] in store.quarantine
+        # Zero foreground interference: no cache traffic at all.
+        assert store.metrics.counter("store.page_hits").value == 0
+        assert store.metrics.counter("store.page_faults").value == 0
+        assert scheduler.metrics.counter("store.scrub.quarantined").value == 1
+
+    def test_quarantined_page_fails_future_reads(self, store):
+        flip_byte(store.directory / shard_filename("entity_table", 1))
+        scheduler = ScrubScheduler(store, pages_per_tick=8)
+        scheduler.run_sweep()
+        rows = store.quarantined_rows("entity_table")
+        assert rows
+        with pytest.raises(QuarantinedRowError):
+            store.read_row("entity_table", rows[0])
+
+    def test_second_sweep_does_not_requarantine(self, store):
+        flip_byte(store.directory / shard_filename("entity_table", 1))
+        scheduler = ScrubScheduler(store, pages_per_tick=4)
+        scheduler.run_sweep()
+        scheduler.run_sweep()
+        assert scheduler.metrics.counter("store.scrub.quarantined").value == 1
+        assert scheduler.metrics.counter("store.scrub.sweeps").value == 2
+
+
+class TestCheckPageApi:
+    def test_iter_page_keys_is_sorted_and_complete(self, store):
+        keys = store.iter_page_keys()
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+        assert all(name in store.table_names() for name, _, _ in keys)
+
+    def test_check_page_true_on_clean_false_on_damage(self, store):
+        keys = store.iter_page_keys()
+        assert store.check_page(keys[0], quarantine=True)
+        flip_byte(store.directory / shard_filename("entity_table", 1))
+        damaged = [
+            key
+            for key in keys
+            if not store.check_page(key, quarantine=False)
+        ]
+        assert damaged
+        # quarantine=False probes without convicting.
+        assert store.quarantine == set()

@@ -82,6 +82,22 @@ done
 echo "storage-chaos recovery is byte-identical across reruns"
 
 echo
+echo "== serve chaos (repro serve, SIGKILL drill, byte-diffed) =="
+# Process-level chaos: a seeded mixed workload over 3 forked workers
+# with 2 SIGKILLs mid-load.  The drill must end RECOVERED (every
+# request answered exactly once, zero duplicates, both deaths detected
+# and restarted) and the transcript — request ids, kinds, outcomes,
+# payload CRCs — must be byte-identical across two runs even though
+# crash timing and replay counts vary between them.
+python -m repro.cli serve chaos --preset smoke --dir "$OBS_TMP/serve1" \
+    > "$OBS_TMP/serve1.txt"
+python -m repro.cli serve chaos --preset smoke --dir "$OBS_TMP/serve2" \
+    > "$OBS_TMP/serve2.txt"
+diff "$OBS_TMP/serve1.txt" "$OBS_TMP/serve2.txt"
+grep -q "drill: RECOVERED" "$OBS_TMP/serve1.txt"
+echo "serve-chaos transcript is byte-identical across reruns"
+
+echo
 echo "== repro.lint (per-file + whole-program) =="
 # One pass over every Python tree: per-file rules plus the
 # whole-program passes (import/call graphs, determinism taint,
