@@ -20,6 +20,9 @@ writing Python:
     python -m repro.cli store verify --dir st      # CRC-check every page
     python -m repro.cli store scrub --dir st       # CRC-check + quarantine
     python -m repro.cli store chaos --dir work     # corruption-recovery drill
+    python -m repro.cli serve chaos --dir work     # SIGKILL exactly-once drill
+    python -m repro.cli stream run --dir work      # catalog-delta ingest
+    python -m repro.cli stream chaos --dir work    # crash-mid-ingest replay drill
     python -m repro.cli metrics --format prom      # telemetry snapshot export
     python -m repro.cli trace --format chrome      # span/profile trace export
     python -m repro.cli lint src tests             # static-analysis gate
@@ -735,27 +738,123 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    """Run the seeded serving workload and export its telemetry.
+    """Run a seeded workload and export its telemetry.
 
-    Stdout carries *only* the export (Prometheus text or JSON), so two
-    runs with the same seed are byte-identical — the check.sh obs gate
-    diffs exactly this.  ``--verbose`` adds the loadtest summary on
-    stderr.
+    ``--workload serving`` (the default) drives the single-process
+    gateway overload drill; ``--workload pool`` forks the supervised
+    worker pool and surfaces the per-worker ``pool.*`` counters plus
+    the background ``store.scrub.*`` accounting.  Stdout carries *only*
+    the export (Prometheus text or JSON), so two runs with the same
+    seed are byte-identical — the check.sh obs gate diffs exactly
+    this.  ``--verbose`` adds the workload summary on stderr.
     """
-    from .obs import run_metrics_workload, to_json, to_prometheus
+    from .obs import (
+        run_metrics_workload,
+        run_pool_workload,
+        to_json,
+        to_prometheus,
+    )
 
     config = _load_config(args)
-    registry, report = run_metrics_workload(
-        seed=config.seed, requests=args.requests, preset=args.preset
-    )
+    if args.workload == "pool":
+        registry, summary = run_pool_workload(
+            seed=config.seed, requests=args.requests, preset=args.preset
+        )
+    else:
+        registry, report = run_metrics_workload(
+            seed=config.seed, requests=args.requests, preset=args.preset
+        )
+        summary = report.as_rows()
     if args.format == "json":
         print(to_json(registry))
     else:
         print(to_prometheus(registry), end="")
     if args.verbose:
-        for row in report.as_rows():
+        for row in summary:
             print(row, file=sys.stderr)
     return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Drive the catalog-delta streaming subsystem.
+
+    ``run`` ingests the seeded delta stream over ``--dir`` — appending
+    each batch to the write-ahead delta log, warm-starting and
+    continual-training stream-born entities, absorbing deltas into the
+    ANN index, and publishing versioned snapshots.  ``replay`` runs the
+    identical loop over an existing directory: the verified log prefix
+    replays instead of regenerating, and stdout must come out
+    byte-identical.  ``chaos`` is the crash-mid-ingest drill — a run is
+    killed after a batch is logged but before it is absorbed (plus a
+    torn half-written segment), recovery replays from the log alone,
+    and every artifact, metric, and transcript line is byte-compared
+    against a never-crashed control run.
+
+    Stdout carries only deterministic lines (the check.sh / CI gates
+    diff two chaos runs); operational detail goes to stderr under
+    ``--verbose``.
+    """
+    from pathlib import Path
+
+    from .stream import (
+        StreamChaosConfig,
+        StreamPipeline,
+        StreamRunConfig,
+        run_stream_chaos,
+        swap_gateway,
+    )
+
+    config = _load_config(args)
+    stream_config = StreamRunConfig(
+        batches=args.batches, publish_every=args.publish_every
+    )
+    workdir = Path(args.dir)
+
+    if args.stream_command in ("run", "replay"):
+        pipeline = StreamPipeline(config, workdir, stream_config)
+        report = pipeline.run()
+        for line in report.lines():
+            print(line)
+        if args.verbose:
+            print(
+                f"replayed {report.replayed_batches} logged batches",
+                file=sys.stderr,
+            )
+            current = pipeline.versioner.current_version()
+            if current is not None:
+                from .reliability import PKGMGateway, build_replicas
+
+                gateway = PKGMGateway(
+                    build_replicas(
+                        pipeline.versioner.load_server(current),
+                        2,
+                        seed=config.seed,
+                    ),
+                    seed=config.seed,
+                )
+                server = swap_gateway(gateway, pipeline.versioner, current)
+                print(
+                    f"swap drill: gateway {gateway.state} over "
+                    f"v{current:06d} ({len(server.known_items())} items)",
+                    file=sys.stderr,
+                )
+        return 0
+
+    if args.stream_command == "chaos":
+        report = run_stream_chaos(
+            config,
+            workdir,
+            stream_config,
+            StreamChaosConfig(kill_batch=args.kill_batch),
+        )
+        for line in report.lines():
+            print(line)
+        if args.verbose:
+            for line in report.detail_lines():
+                print(line, file=sys.stderr)
+        return 0 if report.ok else 1
+
+    raise ValueError(f"unknown stream subcommand {args.stream_command!r}")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -913,6 +1012,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(met)
     met.add_argument("--requests", type=int, default=400)
     met.add_argument("--format", choices=("prom", "json"), default="prom")
+    met.add_argument(
+        "--workload",
+        choices=("serving", "pool"),
+        default="serving",
+        help="serving = gateway overload drill; pool = forked worker pool",
+    )
     tra = sub.add_parser(
         "trace", help="seeded training run, span and profile export"
     )
@@ -1000,6 +1105,36 @@ def build_parser() -> argparse.ArgumentParser:
         "loadtest", help="wall-clock QPS and latency percentiles for the pool"
     )
     serve_common(srvload)
+    stm = sub.add_parser(
+        "stream", help="deterministic catalog-delta ingest drills"
+    )
+    stmsub = stm.add_subparsers(dest="stream_command", required=True)
+
+    def stream_common(p: argparse.ArgumentParser) -> None:
+        common(p)
+        p.add_argument(
+            "--dir", type=str, required=True, help="stream run directory"
+        )
+        p.add_argument("--batches", type=int, default=12)
+        p.add_argument("--publish-every", type=int, default=4)
+
+    stream_common(
+        stmsub.add_parser(
+            "run", help="ingest the seeded delta stream (resumes from the log)"
+        )
+    )
+    stream_common(
+        stmsub.add_parser(
+            "replay", help="re-run over an existing log; identical stdout"
+        )
+    )
+    stmchaos = stmsub.add_parser(
+        "chaos", help="crash mid-ingest, replay to byte-identical state"
+    )
+    stream_common(stmchaos)
+    stmchaos.add_argument(
+        "--kill-batch", type=int, default=3, help="batch index the kill lands on"
+    )
     lint = sub.add_parser(
         "lint",
         parents=[lint_cli.build_parser()],
@@ -1022,6 +1157,7 @@ COMMANDS = {
     "index": cmd_index,
     "store": cmd_store,
     "serve": cmd_serve,
+    "stream": cmd_stream,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": lint_cli.run_lint,

@@ -399,23 +399,36 @@ class PKGMServer:
         one npz.  A server restored with :meth:`from_store` then pages
         rows in on demand, so the catalog no longer has to fit in RAM.
         Returns the built (open) store.
+
+        The tables go through the streaming build path in bounded
+        chunks, so peak build memory is one chunk — not one table —
+        while the files stay byte-identical to an in-RAM build.
         """
         # Imported lazily: repro.store sits on repro.core.cache and
         # repro.reliability, both of which import repro.core first.
-        from ..store import DEFAULT_PAGE_BYTES, EmbeddingStore
+        from ..store import DEFAULT_PAGE_BYTES, EmbeddingStore, RowSource
 
         item_ids = self._selector.items()
         key_table = np.asarray(
             [self._selector.for_item(item) for item in item_ids], dtype=np.int64
         ).reshape(len(item_ids), self.k)
-        return EmbeddingStore.build(
+        sources = {
+            "entity_table": np.asarray(self._entity_table),
+            "relation_table": np.asarray(self._relation_table),
+            "transfer": np.asarray(self._transfer),
+            "item_ids": np.asarray(item_ids, dtype=np.int64),
+            "key_relations": key_table,
+        }
+        return EmbeddingStore.build_from_rows(
             directory,
             {
-                "entity_table": np.asarray(self._entity_table),
-                "relation_table": np.asarray(self._relation_table),
-                "transfer": np.asarray(self._transfer),
-                "item_ids": np.asarray(item_ids, dtype=np.int64),
-                "key_relations": key_table,
+                name: RowSource.from_array(
+                    array,
+                    chunk_rows=max(
+                        1, (1 << 20) // max(1, array[:1].nbytes)
+                    ),
+                )
+                for name, array in sources.items()
             },
             num_shards=num_shards,
             page_bytes=DEFAULT_PAGE_BYTES if page_bytes is None else page_bytes,

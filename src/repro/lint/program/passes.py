@@ -45,6 +45,7 @@ DETERMINISTIC_BOUNDARY = (
     "repro.reliability",
     "repro.serving",
     "repro.store",
+    "repro.stream",
 )
 
 #: Module prefixes whose public functions are treated as concurrent

@@ -65,6 +65,7 @@ class WallClockInReliabilityRule(Rule):
             "repro/index/",
             "repro/store/",
             "repro/serving/",
+            "repro/stream/",
         )
         #: ``time``-module attribute names treated as wall-clock reads.
         self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))

@@ -40,6 +40,7 @@ from .trace import Span, SpanStore, Tracer
 from .profile import PhaseTotals, Profiler, profile_report
 from .export import (
     run_metrics_workload,
+    run_pool_workload,
     run_trace_workload,
     to_json,
     to_prometheus,
@@ -59,6 +60,7 @@ __all__ = [
     "counter_view",
     "profile_report",
     "run_metrics_workload",
+    "run_pool_workload",
     "run_trace_workload",
     "to_json",
     "to_prometheus",

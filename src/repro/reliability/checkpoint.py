@@ -46,6 +46,32 @@ class CheckpointError(RuntimeError):
 _TMP_SEQUENCE = itertools.count()
 
 
+def atomic_tmp_path(path: Union[str, Path]) -> Path:
+    """A unique same-directory temp name for an atomic write to ``path``.
+
+    Carries the pid *and* the process-wide sequence number so
+    concurrent writers (threads or a streaming builder holding many
+    open shards) never collide; callers must finish with
+    ``os.replace(tmp, path)`` after flushing and fsyncing.
+    """
+    path = Path(path)
+    return path.with_name(
+        f".{path.name}.tmp.{os.getpid()}.{next(_TMP_SEQUENCE)}"
+    )
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """fsync a directory entry so a completed rename survives power loss."""
+    try:
+        dir_fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
 def atomic_write_bytes(path: Union[str, Path], payload: bytes) -> str:
     """Write ``payload`` to ``path`` atomically; returns its SHA-256.
 

@@ -5,7 +5,7 @@ followed by the pickled message.  Messages are plain tuples tagged by
 their first element::
 
     supervisor → worker
-        ("batch", kind, k, [(request_id, entity_id, relation), ...])
+        ("batch", kind, k, [(request_id, entity_id, relation, budget), ...])
         ("ping", seq)
         ("shutdown",)
     worker → supervisor
@@ -22,6 +22,14 @@ frame boundary and raises :class:`ProtocolError` on a torn frame, and
 :func:`drain_frames` recovers every complete frame a dead worker left
 behind in the kernel socket buffer — the piece that lets the
 supervisor tell "answered before the crash" from "orphaned by it".
+
+Each batch item carries the request's remaining virtual deadline
+``budget`` as its fourth field, so the cancellation decision the
+gateway makes up front is re-checked *inside* the worker: an item
+whose budget is already spent answers ``STATUS_DEADLINE`` without
+touching the store.  Workers still accept legacy three-field items
+(``budget`` is then treated as unbounded) — the protocol tests and any
+hand-built batch keep working unchanged.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ MAX_FRAME_BYTES = 256 << 20
 STATUS_OK = "ok"
 STATUS_UNKNOWN = "unknown-id"
 STATUS_QUARANTINED = "quarantined"
+STATUS_DEADLINE = "deadline"
 STATUS_ERROR = "error"
 
 #: Request kinds the pool understands (all three coalesce into the

@@ -53,6 +53,7 @@ from .protocol import (
     PoolRequest,
     PoolResponse,
     ProtocolError,
+    STATUS_DEADLINE,
     STATUS_OK,
     STATUS_QUARANTINED,
     STATUS_UNKNOWN,
@@ -92,6 +93,10 @@ class PoolConfig:
     start_timeout: float = 30.0  # real seconds; worker ready handshake
     restart_limit: int = 8  # restarts per worker slot before giving up
     scrub_pages_per_tick: int = 0  # 0 disables background scrubbing
+    #: Split batches larger than this across idle siblings at dispatch
+    #: (0 disables splitting).  Off by default: the serve-chaos gate
+    #: byte-diffs transcripts whose batching it pins down.
+    split_batch: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -100,6 +105,8 @@ class PoolConfig:
             raise ValueError("max_attempts must be >= 1")
         if self.deadline_budget <= 0:
             raise ValueError("deadline_budget must be positive")
+        if self.split_batch < 0:
+            raise ValueError("split_batch must be >= 0")
 
 
 class WorkerHandle:
@@ -208,6 +215,13 @@ class Supervisor:
         )
         self._failovers_c = self.metrics.counter(
             "pool.failovers", help="Batches routed off their primary shard"
+        )
+        self._worker_deadline_c = self.metrics.counter(
+            "pool.worker_deadline_cancellations",
+            help="Items a worker cancelled at its deadline check",
+        )
+        self._batch_splits_c = self.metrics.counter(
+            "pool.batch_splits", help="Giant batches split across siblings"
         )
         self._heartbeats_c = self.metrics.counter(
             "pool.heartbeats", help="Heartbeat pings sent"
@@ -426,11 +440,50 @@ class Supervisor:
             live.append(request)
         if not live:
             return
-        handle, failed_over = self._route(batch.shard)
+        primary, failed_over = self._route(batch.shard)
         if failed_over:
             self._failovers_c.inc()
-        items = [(r.request_id, r.entity_id, r.relation) for r in live]
-        for request in live:
+        limit = self.config.split_batch
+        if limit and len(live) > limit:
+            # A giant batch (forced flush, death replay) would serialize
+            # on one worker while its siblings sit idle; carve it into
+            # ``limit``-sized chunks and spread the surplus over idle
+            # routable siblings, keeping the primary for the first chunk
+            # (and any overflow once the idle set is spent).
+            chunks = [
+                live[start : start + limit]
+                for start in range(0, len(live), limit)
+            ]
+            idle = [
+                handle
+                for handle in self.workers
+                if handle.routable
+                and handle is not primary
+                and not handle.inflight
+            ]
+            targets = [primary] + [
+                idle.pop(0) if idle else primary for _ in chunks[1:]
+            ]
+            self._batch_splits_c.inc()
+        else:
+            chunks = [live]
+            targets = [primary]
+        for handle, chunk in zip(targets, chunks):
+            self._dispatch_to(handle, batch, chunk, now)
+
+    def _dispatch_to(
+        self,
+        handle: WorkerHandle,
+        batch: Batch,
+        requests: List[PoolRequest],
+        now: float,
+    ) -> None:
+        """Send one chunk to one worker, carrying per-item budgets."""
+        items = [
+            (r.request_id, r.entity_id, r.relation, r.deadline_at - now)
+            for r in requests
+        ]
+        for request in requests:
             handle.inflight[request.request_id] = request
         self._batches_c.inc()
         if self.tracer is not None:
@@ -518,6 +571,8 @@ class Supervisor:
             # drift; count it with the duplicates rather than crash.
             self._duplicates_c.inc()
             return
+        if status == STATUS_DEADLINE:
+            self._worker_deadline_c.inc()
         checksum = (
             payload_checksum(request.kind, payload) if status == STATUS_OK else 0
         )
@@ -685,9 +740,17 @@ class Supervisor:
     # Synchronous server surface (what the gateway wraps)
     # ------------------------------------------------------------------
     def _call(
-        self, kind: str, entity_id: int, relation: int = -1, k: int = 10
+        self,
+        kind: str,
+        entity_id: int,
+        relation: int = -1,
+        k: int = 10,
+        deadline=None,
     ) -> PoolResponse:
-        request_id = self.submit(kind, entity_id, relation=relation, k=k)
+        budget = deadline.remaining() if deadline is not None else None
+        request_id = self.submit(
+            kind, entity_id, relation=relation, k=k, budget=budget
+        )
         for batch in self.coalescer.flush_all():
             self._dispatch(batch)
         while request_id not in self._terminal:
@@ -715,9 +778,18 @@ class Supervisor:
             f"request {response.request_id} failed with {response.outcome!r}"
         )
 
-    def serve(self, entity_id: int) -> ServiceVectors:
-        """Service vectors for one item, computed by a worker process."""
-        response = self._call("serve", entity_id)
+    def serve(self, entity_id: int, deadline=None) -> ServiceVectors:
+        """Service vectors for one item, computed by a worker process.
+
+        ``deadline`` is an optional
+        :class:`~repro.reliability.admission.Deadline`; its remaining
+        budget rides the wire with the request, so the *worker* cancels
+        expired items before touching the store.  The gateway's
+        ``TimedBackend`` detects this parameter and threads its own
+        budget through — worker pools get end-to-end deadline
+        propagation with no gateway changes.
+        """
+        response = self._call("serve", entity_id, deadline=deadline)
         if response.outcome != STATUS_OK:
             self._raise_for(response)
         key_relations, triple, relation = response.payload
@@ -728,16 +800,24 @@ class Supervisor:
             relation_vectors=relation,
         )
 
-    def nearest_tails(self, entity_id: int, relation: int, k: int = 10):
+    def nearest_tails(
+        self, entity_id: int, relation: int, k: int = 10, deadline=None
+    ):
         """One nearest-tails query, answered by a worker process."""
-        response = self._call("retrieve", entity_id, relation=relation, k=k)
+        response = self._call(
+            "retrieve", entity_id, relation=relation, k=k, deadline=deadline
+        )
         if response.outcome != STATUS_OK:
             self._raise_for(response)
         distances, neighbor_ids = response.payload
         return distances, neighbor_ids
 
-    def relation_existence_score(self, entity_id: int, relation: int) -> float:
-        response = self._call("exist", entity_id, relation=relation)
+    def relation_existence_score(
+        self, entity_id: int, relation: int, deadline=None
+    ) -> float:
+        response = self._call(
+            "exist", entity_id, relation=relation, deadline=deadline
+        )
         if response.outcome != STATUS_OK:
             self._raise_for(response)
         return float(response.payload)

@@ -31,6 +31,7 @@ import numpy as np
 from ..store.errors import QuarantinedRowError
 from .protocol import (
     ProtocolError,
+    STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_QUARANTINED,
@@ -39,10 +40,27 @@ from .protocol import (
     send_frame,
 )
 
-#: (request_id, entity_id, relation) — one wire item of a batch.
-WireItem = Tuple[int, int, int]
+#: (request_id, entity_id, relation, budget) — one wire item of a
+#: batch.  ``budget`` is the request's remaining virtual deadline at
+#: dispatch; ``None`` (or a legacy three-field item) means unbounded.
+WireItem = Tuple[int, int, int, object]
+#: (request_id, entity_id, relation) — an item past its deadline
+#: check, the shape the kernel helpers consume.
+LiveItem = Tuple[int, int, int]
 #: (request_id, status, payload) — one wire result.
 WireResult = Tuple[int, str, object]
+
+
+def _normalize_items(items: Sequence) -> List[WireItem]:
+    """Accept three- or four-field wire items; missing budget = None."""
+    return [
+        (item[0], item[1], item[2], item[3] if len(item) > 3 else None)
+        for item in items
+    ]
+
+
+def _expired(budget: object) -> bool:
+    return budget is not None and float(budget) <= 0.0
 
 
 def _quarantine_info(error: QuarantinedRowError) -> Tuple[str, int, int, int]:
@@ -88,7 +106,7 @@ def _retrieve_item(
     return (request_id, STATUS_OK, (distances, neighbor_ids))
 
 
-def _valid_pairs(server, items: Sequence[WireItem]) -> np.ndarray:
+def _valid_pairs(server, items: Sequence[LiveItem]) -> np.ndarray:
     """Mask of items whose (entity, relation) indices are in range —
     the precondition for running the whole batch through one kernel."""
     entities = np.asarray([item[1] for item in items], dtype=np.int64)
@@ -101,7 +119,7 @@ def _valid_pairs(server, items: Sequence[WireItem]) -> np.ndarray:
     )
 
 
-def _exist_batch(server, items: Sequence[WireItem]) -> List[WireResult]:
+def _exist_batch(server, items: Sequence[LiveItem]) -> List[WireResult]:
     valid = _valid_pairs(server, items)
     if not valid.all():
         return [
@@ -124,7 +142,7 @@ def _exist_batch(server, items: Sequence[WireItem]) -> List[WireResult]:
     ]
 
 
-def _retrieve_batch(server, items: Sequence[WireItem], k: int) -> List[WireResult]:
+def _retrieve_batch(server, items: Sequence[LiveItem], k: int) -> List[WireResult]:
     valid = _valid_pairs(server, items)
     if not valid.all():
         return [
@@ -145,15 +163,37 @@ def _retrieve_batch(server, items: Sequence[WireItem], k: int) -> List[WireResul
     ]
 
 
-def run_batch(server, kind: str, k: int, items: Sequence[WireItem]) -> List[WireResult]:
-    """Answer one coalesced batch; every item gets exactly one result."""
+def run_batch(server, kind: str, k: int, items: Sequence) -> List[WireResult]:
+    """Answer one coalesced batch; every item gets exactly one result.
+
+    Items whose deadline budget is already spent are cancelled here —
+    before any kernel or store page is touched — with
+    ``STATUS_DEADLINE``; only the still-live remainder runs.
+    """
+    normalized = _normalize_items(items)
+    results: List[WireResult] = [
+        (rid, STATUS_DEADLINE, None)
+        for rid, _, _, budget in normalized
+        if _expired(budget)
+    ]
+    live = [
+        (rid, entity, relation)
+        for rid, entity, relation, budget in normalized
+        if not _expired(budget)
+    ]
+    if not live:
+        return results
     if kind == "serve":
-        return [_serve_item(server, rid, entity) for rid, entity, _ in items]
-    if kind == "exist":
-        return _exist_batch(server, items)
-    if kind == "retrieve":
-        return _retrieve_batch(server, items, k)
-    return [(rid, STATUS_ERROR, f"unknown kind {kind!r}") for rid, _, _ in items]
+        results.extend(_serve_item(server, rid, entity) for rid, entity, _ in live)
+    elif kind == "exist":
+        results.extend(_exist_batch(server, live))
+    elif kind == "retrieve":
+        results.extend(_retrieve_batch(server, live, k))
+    else:
+        results.extend(
+            (rid, STATUS_ERROR, f"unknown kind {kind!r}") for rid, _, _ in live
+        )
+    return results
 
 
 def worker_main(

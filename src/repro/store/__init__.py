@@ -31,8 +31,14 @@ from .layout import (
     shard_filename,
 )
 from .scrub import ScrubScheduler, ScrubTick
-from .shard import ShardInfo, ShardReader, page_crc32s, write_shard
-from .store import EmbeddingStore, RepairReport, ScrubReport
+from .shard import (
+    ShardInfo,
+    ShardReader,
+    StreamingShardWriter,
+    page_crc32s,
+    write_shard,
+)
+from .store import EmbeddingStore, RepairReport, RowSource, ScrubReport
 from .table import StoreTable
 
 __all__ = [
@@ -41,6 +47,7 @@ __all__ = [
     "MANIFEST_NAME",
     "QuarantinedRowError",
     "RepairReport",
+    "RowSource",
     "ScrubReport",
     "ScrubScheduler",
     "ScrubTick",
@@ -51,6 +58,7 @@ __all__ = [
     "StoreManifestError",
     "StoreSchemaError",
     "StoreTable",
+    "StreamingShardWriter",
     "TableSpec",
     "manifest_checksum",
     "page_crc32s",

@@ -54,7 +54,7 @@ from .layout import (
     shard_row_ids,
     specs_from_manifest,
 )
-from .shard import ShardInfo, ShardReader, write_shard
+from .shard import ShardInfo, ShardReader, StreamingShardWriter, write_shard
 
 #: ``(table, shard, page)`` — the quarantine / cache addressing unit.
 PageKey = Tuple[str, int, int]
@@ -108,6 +108,45 @@ class _Table:
     spec: TableSpec
     shards: List[ShardInfo]
     readers: Dict[int, ShardReader] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RowSource:
+    """Declared geometry plus a row-chunk iterator for a streamed build.
+
+    ``chunks`` is a zero-argument callable returning an iterable of 2-D+
+    row blocks (``(n, *row_shape)``, dtype exactly ``dtype``) that
+    concatenate to the full table.  A callable — not a bare iterator —
+    so a failed build can be retried and so sources stay reusable;
+    chunk sizing is the producer's RAM knob and never changes the bytes
+    on disk.
+    """
+
+    dtype: str
+    row_shape: Tuple[int, ...]
+    rows: int
+    chunks: "object"  # Callable[[], Iterable[np.ndarray]]
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, chunk_rows: int = 0) -> "RowSource":
+        """Wrap an in-RAM array (optionally re-chunked for tests)."""
+        array = np.ascontiguousarray(array)
+        if array.ndim < 1:
+            raise StoreSchemaError("a row source must be at least 1-D")
+        step = chunk_rows if chunk_rows > 0 else max(1, int(array.shape[0]))
+
+        def _chunks() -> List[np.ndarray]:
+            return [
+                array[start : start + step]
+                for start in range(0, array.shape[0], step)
+            ]
+
+        return cls(
+            dtype=str(array.dtype),
+            row_shape=tuple(int(d) for d in array.shape[1:]),
+            rows=int(array.shape[0]),
+            chunks=_chunks,
+        )
 
 
 class EmbeddingStore:
@@ -216,6 +255,149 @@ class EmbeddingStore:
             entry["shards"] = [info.to_manifest() for info in infos]
             manifest_tables[name] = entry
             tables[name] = _Table(spec=spec, shards=infos)
+        return cls._finalize_build(
+            directory,
+            tables,
+            manifest_tables,
+            page_bytes,
+            metadata,
+            cache_pages,
+            registry,
+        )
+
+    @classmethod
+    def build_from_rows(
+        cls,
+        directory: Union[str, Path],
+        sources: Mapping[str, "RowSource"],
+        *,
+        num_shards: int = 1,
+        layout: str = "contiguous",
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        metadata: Optional[Mapping] = None,
+        cache_pages: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "EmbeddingStore":
+        """:meth:`build` from row iterators — bounded by chunk size, not
+        table size.
+
+        Each table streams through one pass of its source: chunks are
+        routed to per-shard :class:`StreamingShardWriter`\\ s (contiguous
+        spans or strided masks), so peak memory is one chunk plus one
+        partial page per shard.  The resulting shard files, manifest,
+        and checksums are byte-identical to an in-RAM :meth:`build` of
+        the concatenated chunks — the storage-chaos gate relies on it.
+        Dtype, row shape, and row count are enforced against the
+        declared geometry; any mismatch aborts every open temp file and
+        leaves no manifest.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if not sources:
+            raise StoreSchemaError("a store needs at least one table")
+        tables: Dict[str, _Table] = {}
+        manifest_tables: Dict[str, dict] = {}
+        for name in sorted(sources):
+            source = sources[name]
+            spec = TableSpec(
+                name=name,
+                dtype=str(source.dtype),
+                row_shape=tuple(int(d) for d in source.row_shape),
+                rows=int(source.rows),
+                num_shards=num_shards,
+                layout=layout,
+                page_bytes=page_bytes,
+            )
+            infos = cls._stream_table(directory, spec, source)
+            entry = spec.to_manifest()
+            entry["shards"] = [info.to_manifest() for info in infos]
+            manifest_tables[name] = entry
+            tables[name] = _Table(spec=spec, shards=infos)
+        return cls._finalize_build(
+            directory,
+            tables,
+            manifest_tables,
+            page_bytes,
+            metadata,
+            cache_pages,
+            registry,
+        )
+
+    @staticmethod
+    def _stream_table(
+        directory: Path,
+        spec: TableSpec,
+        source: "RowSource",
+    ) -> List[ShardInfo]:
+        """One streaming pass of ``source`` into per-shard writers."""
+        page_nbytes = spec.rows_per_page * spec.row_nbytes
+        dtype = np.dtype(spec.dtype)
+        writers = [
+            StreamingShardWriter(
+                directory, shard_filename(spec.name, shard), page_nbytes
+            )
+            for shard in range(spec.num_shards)
+        ]
+        per = spec.rows_per_contiguous_shard
+        offset = 0
+        try:
+            for chunk in source.chunks():
+                chunk = np.ascontiguousarray(chunk)
+                if chunk.dtype != dtype:
+                    raise StoreSchemaError(
+                        f"table {spec.name!r}: chunk dtype {chunk.dtype} "
+                        f"!= declared {dtype}"
+                    )
+                if tuple(chunk.shape[1:]) != spec.row_shape:
+                    raise StoreSchemaError(
+                        f"table {spec.name!r}: chunk row shape "
+                        f"{tuple(chunk.shape[1:])} != declared {spec.row_shape}"
+                    )
+                n = int(chunk.shape[0])
+                if offset + n > spec.rows:
+                    raise StoreSchemaError(
+                        f"table {spec.name!r}: source yielded more than the "
+                        f"declared {spec.rows} rows"
+                    )
+                if spec.layout == "strided":
+                    globals_ = offset + np.arange(n)
+                    for shard, writer in enumerate(writers):
+                        part = chunk[globals_ % spec.num_shards == shard]
+                        if part.shape[0]:
+                            writer.write(np.ascontiguousarray(part).tobytes())
+                else:
+                    start = 0
+                    while start < n:
+                        shard = (offset + start) // per
+                        stop = min(n, (shard + 1) * per - offset)
+                        writers[shard].write(
+                            np.ascontiguousarray(chunk[start:stop]).tobytes()
+                        )
+                        start = stop
+                offset += n
+            if offset != spec.rows:
+                raise StoreSchemaError(
+                    f"table {spec.name!r}: source yielded {offset} rows, "
+                    f"declared {spec.rows}"
+                )
+        except BaseException:
+            for writer in writers:
+                writer.abort()
+            raise
+        return [writer.finish() for writer in writers]
+
+    @classmethod
+    def _finalize_build(
+        cls,
+        directory: Path,
+        tables: Dict[str, _Table],
+        manifest_tables: Dict[str, dict],
+        page_bytes: int,
+        metadata: Optional[Mapping],
+        cache_pages: int,
+        registry: Optional[MetricsRegistry],
+    ) -> "EmbeddingStore":
+        """Seal the manifest (strictly last) and open the built store."""
         document = seal_manifest(
             {
                 "version": STORE_VERSION,

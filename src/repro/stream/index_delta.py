@@ -1,0 +1,309 @@
+"""Delta-aware IVF maintenance: appends, tombstones, re-clustering.
+
+A full IVF rebuild over a billion vectors for every catalog tick is
+absurd; this module gives :class:`repro.index.IVFFlatIndex` (and the
+PQ variant, which shares the inverted-list shape) an incremental
+surface:
+
+* **inserts** append to the nearest centroid's list — exactly what
+  ``add`` already does, now tracked per-id so later ops can find rows;
+* **deletes** tombstone the id: searches overfetch and filter, and the
+  bytes stay until a compaction sweep strikes them out of the lists;
+* **updates** remove the old row in place and re-insert, because a
+  tombstone keyed by id would also kill the replacement;
+* **maintenance** runs seeded triggers — compaction when the tombstone
+  ratio crosses its threshold, a full re-cluster (new seeded k-means)
+  when list-size skew shows the centroids have drifted from the data.
+
+Everything is deterministic: triggers fire on exact counters and the
+re-cluster seed derives from ``(seed, recluster_count)``, so a
+replayed op history reproduces the same index bytes — the property
+the stream chaos gate diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..index.ivf import IVFFlatIndex
+from ..obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class DeltaIndexConfig:
+    """Maintenance trigger thresholds."""
+
+    seed: int = 0
+    tombstone_ratio: float = 0.25
+    skew_ratio: float = 4.0
+    min_vectors_for_recluster: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tombstone_ratio <= 1.0:
+            raise ValueError("tombstone_ratio must be in (0, 1]")
+        if self.skew_ratio <= 1.0:
+            raise ValueError("skew_ratio must be > 1")
+
+
+class DeltaIndex:
+    """Incremental insert/delete/update façade over an IVF-Flat index."""
+
+    def __init__(
+        self,
+        base: IVFFlatIndex,
+        config: Optional[DeltaIndexConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not base.is_trained:
+            raise ValueError("the base index must be trained (or built)")
+        self.index = base
+        self.config = config if config is not None else DeltaIndexConfig()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tombstones: Set[int] = set()
+        self._cell_of: Dict[int, int] = {}
+        for cell, ids in enumerate(base._list_ids):
+            for vector_id in ids:
+                self._cell_of[int(vector_id)] = cell
+        self.recluster_count = 0
+        self._inserts_c = self.metrics.counter(
+            "stream.index.inserts", help="Vectors absorbed via list appends"
+        )
+        self._deletes_c = self.metrics.counter(
+            "stream.index.deletes", help="Vectors tombstoned"
+        )
+        self._updates_c = self.metrics.counter(
+            "stream.index.updates", help="Vectors replaced in place"
+        )
+        self._compactions_c = self.metrics.counter(
+            "stream.index.compactions", help="Tombstone compaction sweeps"
+        )
+        self._reclusters_c = self.metrics.counter(
+            "stream.index.reclusters", help="Full seeded re-clusterings"
+        )
+        self._tombstones_g = self.metrics.gauge(
+            "stream.index.tombstones", help="Tombstoned ids awaiting compaction"
+        )
+        self._live_g = self.metrics.gauge(
+            "stream.index.live", help="Live (non-tombstoned) vectors"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        return self.index.ntotal - len(self.tombstones)
+
+    @property
+    def tombstone_fraction(self) -> float:
+        total = self.index.ntotal
+        return len(self.tombstones) / total if total else 0.0
+
+    def list_sizes(self) -> np.ndarray:
+        return np.asarray(
+            [len(ids) for ids in self.index._list_ids], dtype=np.int64
+        )
+
+    def skew(self) -> float:
+        """Largest list over mean non-empty list size (1.0 = balanced)."""
+        sizes = self.list_sizes()
+        live = sizes[sizes > 0]
+        if not len(live):
+            return 1.0
+        return float(live.max() / live.mean())
+
+    def _update_gauges(self) -> None:
+        self._tombstones_g.set(len(self.tombstones))
+        self._live_g.set(self.live_count)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        """Append new vectors to their nearest lists."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        if not len(ids):
+            return
+        for vector_id in ids:
+            if int(vector_id) in self._cell_of:
+                raise ValueError(f"id {int(vector_id)} is already indexed")
+        before = [len(cell_ids) for cell_ids in self.index._list_ids]
+        self.index.add(vectors, ids)
+        for cell, cell_ids in enumerate(self.index._list_ids):
+            for vector_id in cell_ids[before[cell] :]:
+                self._cell_of[int(vector_id)] = cell
+        self._inserts_c.inc(len(ids))
+        self._update_gauges()
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Tombstone ids; returns how many were actually present."""
+        removed = 0
+        for vector_id in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
+            vector_id = int(vector_id)
+            if vector_id in self._cell_of and vector_id not in self.tombstones:
+                self.tombstones.add(vector_id)
+                removed += 1
+        self._deletes_c.inc(removed)
+        self._update_gauges()
+        return removed
+
+    def update(self, vector_id: int, vector: np.ndarray) -> None:
+        """Replace one vector's coordinates (same id, possibly new cell).
+
+        A tombstone keyed by id cannot express this — it would also
+        hide the replacement — so the old row is struck in place and
+        the new one re-appended through the normal assignment path.
+        """
+        vector_id = int(vector_id)
+        cell = self._cell_of.get(vector_id)
+        if cell is None:
+            raise KeyError(f"id {vector_id} is not indexed")
+        self._strike(cell, vector_id)
+        self.tombstones.discard(vector_id)
+        del self._cell_of[vector_id]
+        before = [len(cell_ids) for cell_ids in self.index._list_ids]
+        self.index.add(
+            np.asarray(vector, dtype=np.float64)[None, :],
+            np.asarray([vector_id], dtype=np.int64),
+        )
+        for new_cell, cell_ids in enumerate(self.index._list_ids):
+            for moved_id in cell_ids[before[new_cell] :]:
+                self._cell_of[int(moved_id)] = new_cell
+        self._updates_c.inc(1)
+        self._update_gauges()
+
+    def _strike(self, cell: int, vector_id: int) -> None:
+        """Physically remove one row from one inverted list."""
+        ids = self.index._list_ids[cell]
+        keep = ids != vector_id
+        self.index._list_ids[cell] = ids[keep]
+        self.index._list_vectors[cell] = self.index._list_vectors[cell][keep]
+        self.index._size_g.set(self.index.ntotal)
+
+    # ------------------------------------------------------------------
+    # Search (tombstone-aware)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distances, ids)`` with tombstoned ids filtered out.
+
+        Overfetches by the tombstone count so a fully-poisoned probe
+        set still yields ``k`` live answers when they exist; rows pad
+        with ``(inf, -1)`` like the base index.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        overfetch = k + len(self.tombstones)
+        distances, ids = self.index.search(queries, overfetch, nprobe=nprobe)
+        out_d = np.full((len(queries), k), np.inf)
+        out_i = np.full((len(queries), k), -1, dtype=np.int64)
+        for row in range(len(queries)):
+            keep = [
+                col
+                for col in range(overfetch)
+                if ids[row, col] >= 0
+                and int(ids[row, col]) not in self.tombstones
+            ][:k]
+            for position, col in enumerate(keep):
+                out_d[row, position] = distances[row, col]
+                out_i[row, position] = ids[row, col]
+        return out_d, out_i
+
+    # ------------------------------------------------------------------
+    # Maintenance triggers
+    # ------------------------------------------------------------------
+    def maintenance(self) -> List[str]:
+        """Run due maintenance; returns the actions taken (in order)."""
+        actions: List[str] = []
+        if (
+            self.tombstones
+            and self.tombstone_fraction >= self.config.tombstone_ratio
+        ):
+            self.compact()
+            actions.append("compact")
+        if (
+            self.live_count >= self.config.min_vectors_for_recluster
+            and self.skew() >= self.config.skew_ratio
+        ):
+            self.recluster()
+            actions.append("recluster")
+        return actions
+
+    def compact(self) -> int:
+        """Strike every tombstoned row out of its list; returns count."""
+        struck = 0
+        for vector_id in sorted(self.tombstones):
+            cell = self._cell_of.pop(vector_id, None)
+            if cell is None:
+                continue
+            self._strike(cell, vector_id)
+            struck += 1
+        self.tombstones.clear()
+        self._compactions_c.inc(1)
+        self._update_gauges()
+        return struck
+
+    def recluster(self) -> None:
+        """Re-train the coarse quantizer on the live vectors (seeded).
+
+        The new seed derives from ``(config.seed, recluster_count)``,
+        so the trigger history — itself deterministic — fully fixes
+        the resulting centroids and list assignment.
+        """
+        if self.tombstones:
+            self.compact()
+        vectors, ids = self._live_rows()
+        base = self.index
+        nlist = min(base.nlist, max(1, len(vectors)))
+        rebuilt = IVFFlatIndex(
+            dim=base.dim,
+            nlist=nlist,
+            nprobe=min(base.nprobe, nlist),
+            metric=base.metric,
+            seed=int(
+                np.random.default_rng(
+                    [self.config.seed, self.recluster_count]
+                ).integers(2**31)
+            ),
+            kmeans_iters=base.kmeans_iters,
+            registry=base.metrics,
+        )
+        rebuilt.build(vectors, ids)
+        self.index = rebuilt
+        self._cell_of = {
+            int(vector_id): cell
+            for cell, cell_ids in enumerate(rebuilt._list_ids)
+            for vector_id in cell_ids
+        }
+        self.recluster_count += 1
+        self._reclusters_c.inc(1)
+        self._update_gauges()
+
+    def _live_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All live vectors and ids, sorted by id (rebuild input)."""
+        pairs = []
+        for cell, cell_ids in enumerate(self.index._list_ids):
+            for position, vector_id in enumerate(cell_ids):
+                if int(vector_id) not in self.tombstones:
+                    pairs.append(
+                        (
+                            int(vector_id),
+                            self.index._list_vectors[cell][position],
+                        )
+                    )
+        pairs.sort(key=lambda pair: pair[0])
+        if not pairs:
+            return (
+                np.zeros((0, self.index.dim), dtype=np.float64),
+                np.zeros((0,), dtype=np.int64),
+            )
+        ids = np.asarray([pair[0] for pair in pairs], dtype=np.int64)
+        vectors = np.asarray([pair[1] for pair in pairs], dtype=np.float64)
+        return vectors, ids

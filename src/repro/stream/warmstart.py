@@ -1,0 +1,94 @@
+"""Warm-started embeddings for stream-born entities.
+
+A new listing must be servable *now* — before any continual training
+step has touched it.  TransE geometry gives a closed-form first guess:
+``h + r ≈ t`` means the entity that carries attributes
+``{(r₁,t₁), …}`` should sit near ``mean(tᵢ − rᵢ)``.  That is the
+relation-neighborhood init.  When an item arrives bare (no attributes
+yet), we fall back to the mean embedding of its category's live items;
+when even that is empty, to a small seeded random vector — the same
+deterministic-everything discipline as the rest of the repo, keyed by
+``[seed, entity_id]`` so warm starts are order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def relation_neighborhood_init(
+    attributes: Dict[int, int],
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+) -> Optional[np.ndarray]:
+    """``mean(t − r)`` over the new item's attribute triples.
+
+    Returns ``None`` when the item has no attributes (the caller falls
+    back to the category mean).  Tails must already have embeddings —
+    guaranteed by the stream invariant that only item entities are
+    born on the stream, while tails come from base value pools.
+    """
+    if not attributes:
+        return None
+    rows = [
+        entity_table[tail] - relation_table[relation]
+        for relation, tail in sorted(attributes.items())
+    ]
+    return np.mean(rows, axis=0)
+
+
+def category_mean_init(
+    members: Sequence[int],
+    entity_table: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Mean embedding of the category's live items (``None`` if empty)."""
+    members = [m for m in members if 0 <= m < len(entity_table)]
+    if not members:
+        return None
+    return np.mean(entity_table[np.asarray(sorted(members))], axis=0)
+
+
+def seeded_fallback_init(
+    entity_id: int,
+    dim: int,
+    seed: int,
+    scale: float = 0.1,
+) -> np.ndarray:
+    """Last-resort init: small uniform noise keyed by the entity id."""
+    rng = np.random.default_rng([seed, entity_id])
+    return rng.uniform(-scale, scale, size=dim)
+
+
+def warm_start(
+    entity_id: int,
+    attributes: Dict[int, int],
+    category_members: Sequence[int],
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    seed: int,
+    max_norm: float = 1.0,
+) -> Tuple[np.ndarray, str]:
+    """``(vector, method)`` for one new entity.
+
+    Tries relation-neighborhood, then category-mean, then the seeded
+    fallback; the result is projected onto the TransE ``max_norm``
+    ball so it is immediately consistent with trained neighbors.
+    """
+    vector = relation_neighborhood_init(
+        attributes, entity_table, relation_table
+    )
+    method = "relation-neighborhood"
+    if vector is None:
+        vector = category_mean_init(category_members, entity_table)
+        method = "category-mean"
+    if vector is None:
+        vector = seeded_fallback_init(
+            entity_id, entity_table.shape[1], seed
+        )
+        method = "seeded-fallback"
+    norm = float(np.linalg.norm(vector))
+    if norm > max_norm:
+        vector = vector * (max_norm / max(norm, 1e-12))
+    return np.asarray(vector, dtype=entity_table.dtype), method

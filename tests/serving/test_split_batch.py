@@ -1,0 +1,81 @@
+"""Giant-batch splitting across idle siblings."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.reliability.retry import StepClock
+from repro.serving import PoolConfig, PoolError, Supervisor
+from repro.serving.protocol import STATUS_OK
+
+
+def make_pool(store_dir, **config):
+    supervisor = Supervisor(
+        store_dir,
+        PoolConfig(num_workers=2, max_batch=16, cache_pages=8, **config),
+        clock=StepClock(),
+        registry=MetricsRegistry(),
+    )
+    supervisor.start()
+    return supervisor
+
+
+def burst(pool, item_ids, n):
+    """Submit ``n`` same-shard requests so they coalesce into one batch."""
+    shard0 = [e for e in item_ids if e % 2 == 0]
+    entities = (shard0 * n)[:n]
+    ids = [pool.submit("serve", entity) for entity in entities]
+    for batch in pool.coalescer.flush_all():
+        pool._dispatch(batch)
+    while len(pool._terminal) < n:
+        pool._poll(timeout=5.0, hang_is_death=True)
+    return ids
+
+
+class TestSplitBatch:
+    def test_default_never_splits(self, store_dir, item_ids):
+        pool = make_pool(store_dir)
+        try:
+            burst(pool, item_ids, 8)
+            assert pool.metrics.counter("pool.batch_splits").value == 0
+        finally:
+            pool.shutdown()
+
+    def test_giant_batch_splits_and_answers_all(self, store_dir, item_ids):
+        pool = make_pool(store_dir, split_batch=2)
+        try:
+            request_ids = burst(pool, item_ids, 6)
+            assert pool.metrics.counter("pool.batch_splits").value >= 1
+            responses = pool.drain()
+            assert sorted(r.request_id for r in responses) == sorted(
+                request_ids
+            )
+            assert all(r.outcome == STATUS_OK for r in responses)
+        finally:
+            pool.shutdown()
+
+    def test_split_spreads_work_to_idle_sibling(self, store_dir, item_ids):
+        pool = make_pool(store_dir, split_batch=2)
+        try:
+            burst(pool, item_ids, 6)
+            pool.ping_all(timeout=10.0)  # served_total rides the pong
+            served = [handle.served_total for handle in pool.workers]
+            # Shard-0 burst alone would leave worker 1 idle; the split
+            # must have handed it at least one chunk.
+            assert served[1] > 0
+        finally:
+            pool.shutdown()
+
+    def test_exactly_once_after_split(self, store_dir, item_ids):
+        pool = make_pool(store_dir, split_batch=2)
+        try:
+            burst(pool, item_ids, 6)
+            pool.drain()
+            assert (
+                pool.metrics.counter("pool.duplicates_dropped").value == 0
+            )
+        finally:
+            pool.shutdown()
+
+    def test_negative_split_rejected(self):
+        with pytest.raises(ValueError, match="split_batch"):
+            PoolConfig(split_batch=-1)

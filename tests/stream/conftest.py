@@ -1,0 +1,33 @@
+"""Fixtures for the catalog-delta streaming suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import smoke_config
+from repro.data import generate_catalog
+from repro.stream import CatalogDeltaStream, DeltaStreamConfig, StreamState
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return smoke_config()
+
+
+@pytest.fixture(scope="module")
+def catalog(experiment):
+    return generate_catalog(experiment.catalog)
+
+
+@pytest.fixture()
+def state(catalog):
+    return StreamState.from_catalog(catalog)
+
+
+@pytest.fixture()
+def stream(state):
+    return CatalogDeltaStream(state, DeltaStreamConfig(seed=3))
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,41 @@
+"""The ``repro stream`` subcommand surface."""
+
+from repro.cli import main
+
+
+class TestStreamCLI:
+    def test_run_then_replay_identical_stdout(self, tmp_path, capsys):
+        argv = [
+            "stream", "run", "--dir", str(tmp_path / "run"),
+            "--batches", "4", "--publish-every", "2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        replay = [
+            "stream", "replay", "--dir", str(tmp_path / "run"),
+            "--batches", "4", "--publish-every", "2",
+        ]
+        assert main(replay) == 0
+        assert capsys.readouterr().out == first
+        assert "published: 2 versions" in first
+
+    def test_chaos_reports_recovered(self, tmp_path, capsys):
+        argv = [
+            "stream", "chaos", "--dir", str(tmp_path / "drill"),
+            "--batches", "5", "--publish-every", "2", "--kill-batch", "2",
+            "--verbose",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "stream drill: RECOVERED" in captured.out
+        assert "0 mismatched" in captured.out
+        assert "replayed" in captured.err
+
+    def test_verbose_run_exercises_gateway_swap(self, tmp_path, capsys):
+        argv = [
+            "stream", "run", "--dir", str(tmp_path / "swap"),
+            "--batches", "4", "--publish-every", "2", "--verbose",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "swap drill: gateway serving" in captured.err

@@ -1,0 +1,113 @@
+"""Delta-aware IVF: inserts, tombstones, updates, seeded maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.index.ivf import IVFFlatIndex
+from repro.stream import DeltaIndex, DeltaIndexConfig
+
+
+def build_delta_index(rng, n=64, dim=4, nlist=4, **config):
+    vectors = rng.standard_normal((n, dim))
+    ids = np.arange(n, dtype=np.int64)
+    base = IVFFlatIndex(dim=dim, nlist=nlist, nprobe=nlist, seed=0)
+    base.build(vectors, ids)
+    return DeltaIndex(base, DeltaIndexConfig(**config)), vectors
+
+
+class TestMutations:
+    def test_insert_then_search_finds_new_vector(self):
+        rng = np.random.default_rng(0)
+        index, vectors = build_delta_index(rng)
+        new = rng.standard_normal(4)
+        index.insert(new[None, :], np.asarray([100], dtype=np.int64))
+        _, ids = index.search(new[None, :], k=1)
+        assert ids[0, 0] == 100
+        assert index.live_count == 65
+
+    def test_insert_rejects_duplicate_id(self):
+        rng = np.random.default_rng(0)
+        index, _ = build_delta_index(rng)
+        with pytest.raises(ValueError, match="already indexed"):
+            index.insert(
+                rng.standard_normal((1, 4)), np.asarray([5], dtype=np.int64)
+            )
+
+    def test_delete_hides_id_from_search(self):
+        rng = np.random.default_rng(1)
+        index, vectors = build_delta_index(rng)
+        _, before = index.search(vectors[7][None, :], k=1)
+        assert before[0, 0] == 7
+        assert index.delete(np.asarray([7], dtype=np.int64)) == 1
+        _, after = index.search(vectors[7][None, :], k=1)
+        assert after[0, 0] != 7
+        assert index.live_count == 63
+
+    def test_delete_of_absent_id_is_zero(self):
+        rng = np.random.default_rng(1)
+        index, _ = build_delta_index(rng)
+        assert index.delete(np.asarray([999], dtype=np.int64)) == 0
+
+    def test_update_moves_vector(self):
+        rng = np.random.default_rng(2)
+        index, vectors = build_delta_index(rng)
+        target = rng.standard_normal(4) * 5.0
+        index.update(3, target)
+        _, ids = index.search(target[None, :], k=1)
+        assert ids[0, 0] == 3
+        assert index.index.ntotal == 64  # moved, not duplicated
+
+    def test_update_of_unknown_id_raises(self):
+        rng = np.random.default_rng(2)
+        index, _ = build_delta_index(rng)
+        with pytest.raises(KeyError):
+            index.update(999, np.zeros(4))
+
+
+class TestMaintenance:
+    def test_compaction_trigger_on_tombstone_ratio(self):
+        rng = np.random.default_rng(3)
+        index, _ = build_delta_index(rng, tombstone_ratio=0.25)
+        index.delete(np.arange(20, dtype=np.int64))  # 20/64 > 0.25
+        actions = index.maintenance()
+        assert "compact" in actions
+        assert not index.tombstones
+        assert index.index.ntotal == 44
+
+    def test_recluster_trigger_on_skew(self):
+        rng = np.random.default_rng(4)
+        index, _ = build_delta_index(
+            rng, skew_ratio=2.0, min_vectors_for_recluster=32
+        )
+        # Pile far-away inserts into one centroid's cell to skew it.
+        crowd = rng.standard_normal((200, 4)) * 0.05 + 40.0
+        index.insert(crowd, np.arange(1000, 1200, dtype=np.int64))
+        assert index.skew() >= 2.0
+        actions = index.maintenance()
+        assert "recluster" in actions
+        assert index.recluster_count == 1
+        assert index.skew() < 2.0
+
+    def test_recluster_is_seeded_and_deterministic(self):
+        results = []
+        for _ in range(2):
+            rng = np.random.default_rng(5)
+            index, _ = build_delta_index(rng)
+            index.insert(
+                rng.standard_normal((40, 4)) + 10.0,
+                np.arange(500, 540, dtype=np.int64),
+            )
+            index.recluster()
+            vectors, ids = index._live_rows()
+            results.append((vectors.tobytes(), ids.tobytes()))
+        assert results[0] == results[1]
+
+    def test_search_overfetch_survives_poisoned_probes(self):
+        rng = np.random.default_rng(6)
+        index, vectors = build_delta_index(rng, n=32, nlist=2)
+        query = vectors[0][None, :]
+        _, ranked = index.search(query, k=32)
+        top = [int(v) for v in ranked[0] if v >= 0][:8]
+        index.delete(np.asarray(top[:7], dtype=np.int64))
+        _, ids = index.search(query, k=1)
+        assert ids[0, 0] == top[7]

@@ -1,0 +1,75 @@
+"""Warm-start initializers: TransE geometry, fallbacks, determinism."""
+
+import numpy as np
+
+from repro.stream import (
+    category_mean_init,
+    relation_neighborhood_init,
+    seeded_fallback_init,
+    warm_start,
+)
+
+
+def tables(rng, entities=12, relations=4, dim=6):
+    return (
+        rng.standard_normal((entities, dim)) * 0.3,
+        rng.standard_normal((relations, dim)) * 0.3,
+    )
+
+
+class TestInitializers:
+    def test_relation_neighborhood_is_mean_of_t_minus_r(self):
+        entity_table, relation_table = tables(np.random.default_rng(0))
+        attrs = {0: 3, 2: 7}
+        vector = relation_neighborhood_init(attrs, entity_table, relation_table)
+        expected = (
+            (entity_table[3] - relation_table[0])
+            + (entity_table[7] - relation_table[2])
+        ) / 2.0
+        assert np.allclose(vector, expected)
+
+    def test_relation_neighborhood_empty_is_none(self):
+        entity_table, relation_table = tables(np.random.default_rng(0))
+        assert relation_neighborhood_init({}, entity_table, relation_table) is None
+
+    def test_category_mean(self):
+        entity_table, _ = tables(np.random.default_rng(1))
+        vector = category_mean_init([2, 5, 9], entity_table)
+        assert np.allclose(vector, entity_table[[2, 5, 9]].mean(axis=0))
+
+    def test_category_mean_filters_out_of_range(self):
+        entity_table, _ = tables(np.random.default_rng(1))
+        assert category_mean_init([-1, 999], entity_table) is None
+
+    def test_seeded_fallback_is_deterministic_per_entity(self):
+        a = seeded_fallback_init(7, dim=6, seed=0)
+        b = seeded_fallback_init(7, dim=6, seed=0)
+        c = seeded_fallback_init(8, dim=6, seed=0)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestWarmStart:
+    def test_fallback_chain(self):
+        entity_table, relation_table = tables(np.random.default_rng(2))
+        _, method = warm_start(
+            20, {1: 4}, [2, 3], entity_table, relation_table, seed=0
+        )
+        assert method == "relation-neighborhood"
+        _, method = warm_start(
+            20, {}, [2, 3], entity_table, relation_table, seed=0
+        )
+        assert method == "category-mean"
+        _, method = warm_start(
+            20, {}, [], entity_table, relation_table, seed=0
+        )
+        assert method == "seeded-fallback"
+
+    def test_projects_to_max_norm_ball(self):
+        entity_table, relation_table = tables(np.random.default_rng(3))
+        entity_table *= 100.0  # force a huge neighborhood mean
+        vector, _ = warm_start(
+            20, {1: 4, 2: 5}, [], entity_table, relation_table,
+            seed=0, max_norm=1.0,
+        )
+        assert np.linalg.norm(vector) <= 1.0 + 1e-9

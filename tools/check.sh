@@ -40,6 +40,12 @@ diff "$OBS_TMP/metrics1.txt" "$OBS_TMP/metrics2.txt"
 python -m repro.cli trace --preset smoke --format chrome > "$OBS_TMP/trace1.json"
 python -m repro.cli trace --preset smoke --format chrome > "$OBS_TMP/trace2.json"
 diff "$OBS_TMP/trace1.json" "$OBS_TMP/trace2.json"
+# The worker-pool workload surfaces per-worker pool.* and
+# store.scrub.* series; it forks real processes, yet the export must
+# still be byte-identical across reruns.
+python -m repro.cli metrics --workload pool --requests 240 > "$OBS_TMP/pool1.txt"
+python -m repro.cli metrics --workload pool --requests 240 > "$OBS_TMP/pool2.txt"
+diff "$OBS_TMP/pool1.txt" "$OBS_TMP/pool2.txt"
 echo "telemetry exports are byte-identical across reruns"
 
 echo
@@ -96,6 +102,23 @@ python -m repro.cli serve chaos --preset smoke --dir "$OBS_TMP/serve2" \
 diff "$OBS_TMP/serve1.txt" "$OBS_TMP/serve2.txt"
 grep -q "drill: RECOVERED" "$OBS_TMP/serve1.txt"
 echo "serve-chaos transcript is byte-identical across reruns"
+
+echo
+echo "== stream chaos (repro stream, crash-mid-ingest drill) =="
+# The delta-ingest drill: run the seeded catalog-delta stream, kill it
+# mid-batch (after segments are on disk but before the next publish),
+# then recover by pure log replay.  The drill byte-compares every
+# store/index/manifest file and the stream.* metrics dump between the
+# recovered directory and an uninterrupted reference run — it must end
+# RECOVERED with zero mismatches, and its transcript must be
+# byte-identical across two independent drills.
+python -m repro.cli stream chaos --preset smoke --dir "$OBS_TMP/stream1" \
+    > "$OBS_TMP/stream1.txt"
+python -m repro.cli stream chaos --preset smoke --dir "$OBS_TMP/stream2" \
+    > "$OBS_TMP/stream2.txt"
+diff "$OBS_TMP/stream1.txt" "$OBS_TMP/stream2.txt"
+grep -q "stream drill: RECOVERED" "$OBS_TMP/stream1.txt"
+echo "stream-chaos recovery is byte-identical across reruns"
 
 echo
 echo "== repro.lint (per-file + whole-program) =="
