@@ -23,6 +23,10 @@ writing Python:
     python -m repro.cli serve chaos --dir work     # SIGKILL exactly-once drill
     python -m repro.cli stream run --dir work      # catalog-delta ingest
     python -m repro.cli stream chaos --dir work    # crash-mid-ingest replay drill
+    python -m repro.cli scenarios workload         # gateway+pool scenario gate
+    python -m repro.cli scenarios coldstart        # zero-shot recommendation
+    python -m repro.cli scenarios explain          # citation-backed reasoning
+    python -m repro.cli scenarios transfer         # cross-category rule transfer
     python -m repro.cli metrics --format prom      # telemetry snapshot export
     python -m repro.cli trace --format chrome      # span/profile trace export
     python -m repro.cli lint src tests             # static-analysis gate
@@ -811,7 +815,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
     workdir = Path(args.dir)
 
     if args.stream_command in ("run", "replay"):
-        pipeline = StreamPipeline(config, workdir, stream_config)
+        pipeline = StreamPipeline(
+            config,
+            workdir,
+            stream_config,
+            from_checkpoint=getattr(args, "from_checkpoint", None),
+        )
         report = pipeline.run()
         for line in report.lines():
             print(line)
@@ -855,6 +864,123 @@ def cmd_stream(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
 
     raise ValueError(f"unknown stream subcommand {args.stream_command!r}")
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Zero-shot recommendation + explainable reasoning scenarios.
+
+    ``workload`` runs the seeded two-phase gateway/pool drill whose
+    transcript the check.sh / CI scenarios gate byte-diffs across two
+    runs; ``coldstart`` multi-task pre-trains PKGM and ranks each
+    user's held-out cold item from service vectors alone, against the
+    popularity / random / warm-NCF baselines; ``explain`` prints
+    citation-backed completion or existence explanations for sample
+    items; ``transfer`` measures how rules mined on one category
+    subgraph hold on every other.
+    """
+    from .data import generate_catalog
+    from .kg.rules import RuleMiner
+    from .scenarios import (
+        ColdStartConfig,
+        Explainer,
+        category_subgraphs,
+        evaluate_rule_transfer,
+        run_coldstart,
+        run_scenarios_workload,
+    )
+
+    config = _load_config(args)
+
+    if args.scenarios_command == "workload":
+        report = run_scenarios_workload(
+            seed=config.seed,
+            requests=args.requests,
+            pool_requests=args.pool_requests,
+            preset=args.preset,
+        )
+        for line in report.lines():
+            print(line)
+        return 0 if report.passed else 1
+
+    if args.scenarios_command == "coldstart":
+        coldstart = ColdStartConfig(
+            cold_fraction=args.cold_fraction, seed=config.seed
+        )
+        report, split = run_coldstart(
+            config, coldstart=coldstart, train_ncf=not args.no_ncf
+        )
+        print(split.summary())
+        for line in report.lines():
+            print(line)
+        return 0
+
+    if args.scenarios_command == "explain":
+        catalog = generate_catalog(config.catalog)
+        server = _untrained_server(config)
+        explainer = Explainer(
+            catalog.store,
+            miner=RuleMiner(
+                min_support=args.min_support,
+                min_confidence=args.min_confidence,
+            ),
+            server=server,
+        )
+        print(f"mined rules: {explainer.num_rules}")
+        printed = 0
+        relations = explainer.completer.head_relations()
+        for item in catalog.items:
+            for relation in relations:
+                payload = explainer.explain(
+                    item.entity_id, relation, kind=args.kind
+                )
+                if not payload.predictions:
+                    continue
+                header = f"({item.entity_id}, {relation}, ?)"
+                if payload.kind == "existence":
+                    header += f" existence={payload.existence_score:.4f}"
+                print(header)
+                for value, score in payload.predictions:
+                    print(f"  predict {value} (confidence {score:.3f})")
+                for cite in payload.citations:
+                    head, rel, tail = cite.support
+                    print(
+                        f"  because ({head}, {rel}, {tail}) and rule "
+                        f"({cite.rule.body_relation}={cite.rule.body_value} "
+                        f"=> {cite.rule.head_relation}={cite.rule.head_value}, "
+                        f"conf {cite.rule.confidence:.2f})"
+                    )
+                printed += 1
+                if printed >= args.queries:
+                    break
+            if printed >= args.queries:
+                break
+        print(f"explained {printed} queries")
+        return 0
+
+    if args.scenarios_command == "transfer":
+        catalog = generate_catalog(config.catalog)
+        miner = RuleMiner(
+            min_support=args.min_support, min_confidence=args.min_confidence
+        )
+        subgraphs = category_subgraphs(catalog)
+        categories = sorted(subgraphs)
+        print("rule transfer across category subgraphs")
+        for source in categories:
+            for target in categories:
+                if source == target:
+                    continue
+                print(
+                    evaluate_rule_transfer(
+                        subgraphs[source],
+                        subgraphs[target],
+                        miner=miner,
+                        source_category=source,
+                        target_category=target,
+                    ).as_row()
+                )
+        return 0
+
+    raise ValueError(f"unknown scenarios subcommand {args.scenarios_command!r}")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -1118,10 +1244,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batches", type=int, default=12)
         p.add_argument("--publish-every", type=int, default=4)
 
-    stream_common(
-        stmsub.add_parser(
-            "run", help="ingest the seeded delta stream (resumes from the log)"
-        )
+    stmrun = stmsub.add_parser(
+        "run", help="ingest the seeded delta stream (resumes from the log)"
+    )
+    stream_common(stmrun)
+    stmrun.add_argument(
+        "--from-checkpoint",
+        type=str,
+        default=None,
+        help="seed the pipeline tables from a trained PKGMServer .npz "
+        "snapshot (e.g. from `repro pretrain --save`)",
     )
     stream_common(
         stmsub.add_parser(
@@ -1134,6 +1266,47 @@ def build_parser() -> argparse.ArgumentParser:
     stream_common(stmchaos)
     stmchaos.add_argument(
         "--kill-batch", type=int, default=3, help="batch index the kill lands on"
+    )
+    scn = sub.add_parser(
+        "scenarios",
+        help="zero-shot recommendation + explainable reasoning drills",
+    )
+    scnsub = scn.add_subparsers(dest="scenarios_command", required=True)
+
+    def rule_common(p: argparse.ArgumentParser) -> None:
+        common(p)
+        p.add_argument("--min-support", type=int, default=2)
+        p.add_argument("--min-confidence", type=float, default=0.6)
+
+    swork = scnsub.add_parser(
+        "workload",
+        help="seeded gateway+pool scenario drill (byte-diffed by the gate)",
+    )
+    common(swork)
+    swork.add_argument("--requests", type=int, default=160)
+    swork.add_argument("--pool-requests", type=int, default=96)
+    scold = scnsub.add_parser(
+        "coldstart", help="zero-shot ranking of cold items vs baselines"
+    )
+    common(scold)
+    scold.add_argument("--cold-fraction", type=float, default=0.2)
+    scold.add_argument(
+        "--no-ncf",
+        action="store_true",
+        help="skip the warm-only NCF baseline (faster)",
+    )
+    sexp = scnsub.add_parser(
+        "explain", help="citation-backed completion/existence explanations"
+    )
+    rule_common(sexp)
+    sexp.add_argument(
+        "--kind", choices=("completion", "existence"), default="completion"
+    )
+    sexp.add_argument("--queries", type=int, default=5)
+    rule_common(
+        scnsub.add_parser(
+            "transfer", help="precision/coverage of rules across categories"
+        )
     )
     lint = sub.add_parser(
         "lint",
@@ -1158,6 +1331,7 @@ COMMANDS = {
     "store": cmd_store,
     "serve": cmd_serve,
     "stream": cmd_stream,
+    "scenarios": cmd_scenarios,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "lint": lint_cli.run_lint,

@@ -109,6 +109,27 @@ class PKGMServer:
         self.unreadable_items = 0
 
     # ------------------------------------------------------------------
+    # Snapshot table views (read-only by convention)
+    # ------------------------------------------------------------------
+    @property
+    def entity_table(self) -> np.ndarray:
+        """The served entity-embedding table.  Consumers that seed new
+        systems from a trained snapshot (e.g. ``repro stream run
+        --from-checkpoint``) read through these views instead of the
+        private attributes."""
+        return self._entity_table
+
+    @property
+    def relation_table(self) -> np.ndarray:
+        """The served relation-embedding table."""
+        return self._relation_table
+
+    @property
+    def transfer_tensor(self) -> np.ndarray:
+        """The served per-relation transfer matrices ``M_r``."""
+        return self._transfer
+
+    # ------------------------------------------------------------------
     # Raw module services for arbitrary (h, r)
     # ------------------------------------------------------------------
     def triple_service(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:

@@ -40,6 +40,26 @@ class Rule:
             f"[support={self.support}, confidence={self.confidence:.2f}]"
         )
 
+    @property
+    def signature(self) -> Tuple[int, int, int, int]:
+        """The implication itself, without the mined statistics."""
+        return (
+            self.body_relation,
+            self.body_value,
+            self.head_relation,
+            self.head_value,
+        )
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int, int, int, int]:
+        """Total order: best confidence, then support, then signature.
+
+        Every consumer that ranks rules uses this key, so rule order —
+        and therefore explanation payloads and completed stores — is
+        identical across runs even when confidences tie.
+        """
+        return (-self.confidence, -self.support) + self.signature
+
 
 class RuleMiner:
     """Mines attribute-implication rules from a product KG.
@@ -99,7 +119,7 @@ class RuleMiner:
                     confidence=confidence,
                 )
             )
-        rules.sort(key=lambda r: (-r.confidence, -r.support, r.body_relation))
+        rules.sort(key=lambda r: r.sort_key)
         return rules
 
 
@@ -109,21 +129,69 @@ class RuleCompleter:
     For a query ``(item, relation, ?)`` every rule whose body matches
     one of the item's facts and whose head relation equals ``relation``
     votes for its head value with weight = confidence; candidates are
-    returned best first.
+    returned best first with deterministic lowest-value tie-breaks.
+
+    The constructor normalizes whatever rule list it is handed: exact
+    duplicate implications are collapsed (keeping the best-supported
+    statistics) and every bucket is held in :attr:`Rule.sort_key`
+    order, so prediction and completion results do not depend on the
+    order rules were mined or loaded in.  An empty rule set is valid
+    and yields empty predictions / an unchanged completion.
     """
 
     def __init__(self, rules: Iterable[Rule]) -> None:
-        self._by_head_relation: Dict[int, List[Rule]] = defaultdict(list)
-        count = 0
+        best: Dict[Tuple[int, int, int, int], Rule] = {}
         for rule in rules:
+            kept = best.get(rule.signature)
+            if kept is None or rule.sort_key < kept.sort_key:
+                best[rule.signature] = rule
+        ordered = sorted(best.values(), key=lambda r: r.sort_key)
+        self._by_head_relation: Dict[int, List[Rule]] = defaultdict(list)
+        for rule in ordered:
             self._by_head_relation[rule.head_relation].append(rule)
-            count += 1
-        self.num_rules = count
+        self.num_rules = len(ordered)
+
+    @property
+    def rules(self) -> List[Rule]:
+        """All retained rules, in :attr:`Rule.sort_key` order."""
+        merged = [
+            rule
+            for relation in sorted(self._by_head_relation)
+            for rule in self._by_head_relation[relation]
+        ]
+        merged.sort(key=lambda r: r.sort_key)
+        return merged
+
+    def head_relations(self) -> List[int]:
+        """Relations this rule set can predict, ascending."""
+        return sorted(self._by_head_relation)
+
+    def rules_for_head(self, relation: int) -> List[Rule]:
+        """Rules concluding about ``relation``, best first (copy)."""
+        return list(self._by_head_relation.get(relation, ()))
+
+    def prune(self, valid_relations: Iterable[int]) -> "RuleCompleter":
+        """A new completer without rules touching retired relations.
+
+        A rule citing a relation absent from ``valid_relations`` in
+        either its body or head can never fire against the current KG
+        schema; catalog evolution retires relations, so the explanation
+        service prunes before serving rather than letting dead rules
+        dilute vote totals.
+        """
+        valid = set(int(r) for r in valid_relations)
+        return RuleCompleter(
+            rule
+            for rule in self.rules
+            if rule.body_relation in valid and rule.head_relation in valid
+        )
 
     def predict(
         self, store: TripleStore, item: int, relation: int, top_k: int = 3
     ) -> List[Tuple[int, float]]:
         """Ranked ``(value, score)`` predictions for ``(item, relation, ?)``."""
+        if not self._by_head_relation:
+            return []
         facts: Set[Tuple[int, int]] = {
             (triple.relation, triple.tail)
             for triple in store.triples_with_head(item)
@@ -135,6 +203,29 @@ class RuleCompleter:
         ranked = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:top_k]
 
+    def supporting_rules(
+        self, store: TripleStore, item: int, relation: int, value: int
+    ) -> List[Tuple[Rule, Tuple[int, int, int]]]:
+        """The evidence behind a prediction: ``(rule, supporting triple)``.
+
+        Every returned rule concludes ``(relation, value)`` and its body
+        is satisfied by a concrete triple of ``item`` — the triple is
+        returned alongside so callers can cite it.  Ordered best rule
+        first.
+        """
+        facts: Set[Tuple[int, int]] = {
+            (triple.relation, triple.tail)
+            for triple in store.triples_with_head(item)
+        }
+        support: List[Tuple[Rule, Tuple[int, int, int]]] = []
+        for rule in self._by_head_relation.get(relation, ()):
+            if rule.head_value != value:
+                continue
+            body = (rule.body_relation, rule.body_value)
+            if body in facts:
+                support.append((rule, (item, body[0], body[1])))
+        return support
+
     def complete_store(
         self, store: TripleStore, min_score: float = 0.7
     ) -> TripleStore:
@@ -142,12 +233,18 @@ class RuleCompleter:
 
         Only fills (item, relation) slots that are empty in ``store``,
         mirroring how the production system repairs incomplete listings.
+        Head relations retired from the store's schema (no longer borne
+        by any triple) are skipped: completion never resurrects a
+        relation the catalog has dropped.
         """
         completed = TripleStore((t.head, t.relation, t.tail) for t in store)
+        if not self._by_head_relation:
+            return completed
+        live_relations = {triple.relation for triple in store}
         for item in store.heads():
             have = store.relations_of(item)
-            for relation in self._by_head_relation:
-                if relation in have:
+            for relation in sorted(self._by_head_relation):
+                if relation in have or relation not in live_relations:
                     continue
                 predictions = self.predict(store, item, relation, top_k=1)
                 if predictions and predictions[0][1] >= min_score:

@@ -43,6 +43,7 @@ DETERMINISTIC_BOUNDARY = (
     "repro.kg",
     "repro.obs",
     "repro.reliability",
+    "repro.scenarios",
     "repro.serving",
     "repro.store",
     "repro.stream",

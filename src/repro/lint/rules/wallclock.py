@@ -66,6 +66,7 @@ class WallClockInReliabilityRule(Rule):
             "repro/store/",
             "repro/serving/",
             "repro/stream/",
+            "repro/scenarios/",
         )
         #: ``time``-module attribute names treated as wall-clock reads.
         self.banned_calls: Tuple[str, ...] = tuple(sorted(WALL_CLOCK_CALLS))

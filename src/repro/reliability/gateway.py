@@ -324,6 +324,12 @@ class GatewayStats:
     retrievals = counter_view(
         "gateway.retrievals", help="Nearest-tail retrieval requests"
     )
+    explanations = counter_view(
+        "gateway.explanations", help="Explanation requests"
+    )
+    recommendations = counter_view(
+        "gateway.recommendations", help="Recommendation requests"
+    )
 
     def __init__(
         self,
@@ -344,6 +350,8 @@ class GatewayStats:
         drains: int = 0,
         swaps: int = 0,
         retrievals: int = 0,
+        explanations: int = 0,
+        recommendations: int = 0,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -364,6 +372,8 @@ class GatewayStats:
         self.drains = drains
         self.swaps = swaps
         self.retrievals = retrievals
+        self.explanations = explanations
+        self.recommendations = recommendations
 
     @property
     def shed(self) -> int:
@@ -429,9 +439,13 @@ class PKGMGateway:
         clock: Optional[StepClock] = None,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        scenarios=None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
+        # Optional ScenarioService backend for the "explain"/"recommend"
+        # request kinds; without it those submissions are a config error.
+        self.scenarios = scenarios
         self.config = config if config is not None else GatewayConfig()
         self.clock = clock if clock is not None else StepClock()
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -562,6 +576,97 @@ class PKGMGateway:
                 )
             return self._offer(request, now)
 
+    def submit_explanation(
+        self,
+        entity_id: int,
+        relation: int,
+        priority: int = 0,
+        budget: Optional[float] = None,
+    ) -> Optional[GatewayResponse]:
+        """Offer one explanation query at the current virtual time.
+
+        Same admission, deadline, and degraded-path treatment as
+        :meth:`submit_retrieval`: shed or expired requests are answered
+        with a degraded :class:`~repro.scenarios.ExplanationPayload`
+        (empty predictions, ``degraded=True``), never an exception, and
+        — the PR 3 invariant — degraded payloads are never cached by
+        the scenario backend.  Requires a scenario backend; explanation
+        calls are unhedged (the backend is one logical service).
+        """
+        with self._lock:
+            self._require_scenarios()
+            now = self.clock.now()
+            self._advance(now)
+            self.stats.arrived += 1
+            self.stats.explanations += 1
+            effective = (
+                self.config.deadline_budget if budget is None else float(budget)
+            )
+            request = GatewayRequest(
+                request_id=self._next_id,
+                entity_id=int(entity_id),
+                priority=int(priority),
+                arrival=now,
+                deadline_at=now + effective,
+                kind="explain",
+                relation=int(relation),
+            )
+            self._next_id += 1
+            if effective <= 0:
+                self.stats.deadline_rejected += 1
+                return self._degraded_response(
+                    request, "deadline", now, hedged=False, hedge_won=False
+                )
+            return self._offer(request, now)
+
+    def submit_recommendation(
+        self,
+        entity_id: int,
+        k: int = 10,
+        priority: int = 0,
+        budget: Optional[float] = None,
+    ) -> Optional[GatewayResponse]:
+        """Offer one zero-shot recommendation query.
+
+        The scenario backend ranks items by condensed service-vector
+        distance, so a cold-start item is as answerable as a warm one.
+        Degraded answers carry the ``(inf, -1)`` padded
+        :class:`~repro.scenarios.RecommendationPayload` and are never
+        cached.  Requires a scenario backend; unhedged.
+        """
+        with self._lock:
+            self._require_scenarios()
+            now = self.clock.now()
+            self._advance(now)
+            self.stats.arrived += 1
+            self.stats.recommendations += 1
+            effective = (
+                self.config.deadline_budget if budget is None else float(budget)
+            )
+            request = GatewayRequest(
+                request_id=self._next_id,
+                entity_id=int(entity_id),
+                priority=int(priority),
+                arrival=now,
+                deadline_at=now + effective,
+                kind="recommend",
+                k=int(k),
+            )
+            self._next_id += 1
+            if effective <= 0:
+                self.stats.deadline_rejected += 1
+                return self._degraded_response(
+                    request, "deadline", now, hedged=False, hedge_won=False
+                )
+            return self._offer(request, now)
+
+    def _require_scenarios(self) -> None:
+        if self.scenarios is None:
+            raise ValueError(
+                "this gateway has no scenario backend; construct it with "
+                "scenarios=ScenarioService(...)"
+            )
+
     def _offer(
         self, request: GatewayRequest, now: float
     ) -> Optional[GatewayResponse]:
@@ -678,6 +783,10 @@ class PKGMGateway:
             outcome = self._call_retrieval(
                 request, budget=request.deadline_at - at
             )
+        elif request.kind in ("explain", "recommend"):
+            outcome = self._call_scenario(
+                request, budget=request.deadline_at - at
+            )
         else:
             outcome = self._call_backend(
                 request, budget=request.deadline_at - at
@@ -743,6 +852,40 @@ class PKGMGateway:
         )
         return BackendOutcome(payload, latency, reason)
 
+    def _call_scenario(
+        self, request: GatewayRequest, budget: float
+    ) -> BackendOutcome:
+        """One unhedged scenario call through the shared backend.
+
+        Timing comes from the round-robin replica's latency model (the
+        scenario engines run beside the replicas and see the same
+        tail); failures use the serve path's vocabulary — breaker-open
+        surfaces as :class:`RPCError` → ``"rpc-error"``, unknown ids as
+        ``"unknown-id"`` — so every degraded-path invariant downstream
+        applies unchanged.
+        """
+        if budget <= 0:
+            return BackendOutcome(None, 0.0, "deadline")
+        primary = self.replicas[self._rr % len(self.replicas)]
+        self._rr += 1
+        primary.calls += 1
+        latency = primary.latency.sample()
+        if latency >= budget:
+            primary.cancelled += 1
+            return BackendOutcome(None, budget, "deadline")
+        try:
+            if request.kind == "explain":
+                payload = self.scenarios.explain(
+                    request.entity_id, request.relation
+                )
+            else:
+                payload = self.scenarios.recommend(request.entity_id, k=request.k)
+        except RPCError:
+            return BackendOutcome(None, latency, "rpc-error")
+        except (KeyError, IndexError):
+            return BackendOutcome(None, latency, "unknown-id")
+        return BackendOutcome(payload, latency, None)
+
     def _call_backend(self, request: GatewayRequest, budget: float) -> BackendOutcome:
         """One possibly-hedged call: first answer wins, loser is cancelled."""
         primary = self.replicas[self._rr % len(self.replicas)]
@@ -806,6 +949,17 @@ class PKGMGateway:
                 neighbor_ids=np.full(request.k, -1, dtype=np.int64),
                 degraded=True,
             )
+        if request.kind in ("explain", "recommend"):
+            # Imported lazily: repro.scenarios imports this package at
+            # module level, so the reverse edge must stay call-time.
+            from ..scenarios.service import (
+                degraded_explanation,
+                degraded_recommendation,
+            )
+
+            if request.kind == "explain":
+                return degraded_explanation(request.entity_id, request.relation)
+            return degraded_recommendation(request.entity_id, request.k)
         return fallback_payload(request.entity_id, self.k, self.dim)
 
     def _shed_response(

@@ -1,0 +1,252 @@
+"""Serving-side scenario engines behind the gateway and the pool.
+
+Three layers, mirroring how the main serve path is built:
+
+* :class:`ServiceRecommender` — the zero-shot engine itself: ranks
+  items by condensed-service-vector distance, so an item needs only a
+  KG presence (never an interaction) to be recommendable.
+* :class:`ScenarioService` — the resilient facade the gateway calls: a
+  circuit breaker in front of the engines plus an LRU payload cache
+  that **never caches degraded payloads** (the PR 3 invariant, here
+  extended to the two new endpoint kinds).
+* :class:`WorkerScenarios` — the lazy per-process bundle a forked pool
+  worker builds from its store directory (recommender from the
+  embedding store, explainer from the ``scenarios.json`` sidecar).
+
+Failure vocabulary is shared with the rest of the serving stack:
+engines raise :class:`KeyError` for unknown ids and the facade raises
+:class:`~repro.reliability.retry.RPCError` when the breaker is open,
+so :class:`~repro.reliability.gateway.PKGMGateway` degrades these
+kinds exactly like serve/retrieve traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.cache import LRUDict
+from ..reliability.retry import CircuitBreaker, CircuitOpenError, RPCError, StepClock
+from .explain import ExplanationPayload, load_sidecar
+
+__all__ = [
+    "RecommendationPayload",
+    "ScenarioService",
+    "ServiceRecommender",
+    "WorkerScenarios",
+    "degraded_explanation",
+    "degraded_recommendation",
+]
+
+
+@dataclass(frozen=True)
+class RecommendationPayload:
+    """Top-``k`` neighbors of an anchor item in service-vector space.
+
+    ``distances`` ascending, ``neighbor_ids`` aligned; a degraded
+    payload carries ``inf`` distances and ``-1`` ids, same shape — the
+    retrieval fallback convention.
+    """
+
+    entity_id: int
+    k: int
+    distances: np.ndarray
+    neighbor_ids: np.ndarray
+    degraded: bool = False
+
+
+def degraded_recommendation(entity_id: int, k: int) -> RecommendationPayload:
+    """The typed fallback payload for a failed recommendation."""
+    return RecommendationPayload(
+        entity_id=int(entity_id),
+        k=int(k),
+        distances=np.full(int(k), np.inf),
+        neighbor_ids=np.full(int(k), -1, dtype=np.int64),
+        degraded=True,
+    )
+
+
+def degraded_explanation(
+    entity_id: int, relation: int, kind: str = "completion"
+) -> ExplanationPayload:
+    """The typed fallback payload for a failed explanation."""
+    return ExplanationPayload(
+        entity_id=int(entity_id),
+        relation=int(relation),
+        kind=kind,
+        degraded=True,
+    )
+
+
+class ServiceRecommender:
+    """Item-to-item zero-shot recommendation from service vectors.
+
+    Precomputes the condensed service vector of every known item; a
+    query ranks all other items by L2 distance to the anchor's vector.
+    Because the vectors come purely from the KG (PKGM's point), a
+    cold-start item — in the graph, absent from every interaction —
+    ranks exactly like a warm one.  Unknown ids raise ``KeyError``.
+    """
+
+    def __init__(self, server, registry=None) -> None:
+        self.server = server
+        self.items = np.asarray(sorted(server.known_items()), dtype=np.int64)
+        self._row_of = {int(e): i for i, e in enumerate(self.items)}
+        self._matrix = server.serve_condensed_batch([int(e) for e in self.items])
+        self._served_c = None
+        if registry is not None:
+            self._served_c = registry.counter(
+                "scenarios.recommend.served",
+                help="Recommendation payloads produced",
+            )
+
+    def recommend(self, entity_id: int, k: int = 10) -> RecommendationPayload:
+        """Top-``k`` nearest items to ``entity_id`` (anchor excluded)."""
+        row = self._row_of.get(int(entity_id))
+        if row is None:
+            raise KeyError(int(entity_id))
+        k = int(k)
+        deltas = self._matrix - self._matrix[row]
+        distances = np.sqrt(np.sum(deltas * deltas, axis=1))
+        distances[row] = np.inf  # never recommend the anchor to itself
+        order = np.lexsort((self.items, distances))[:k]
+        found = min(k, len(order))
+        out_d = np.full(k, np.inf)
+        out_i = np.full(k, -1, dtype=np.int64)
+        out_d[:found] = distances[order[:found]]
+        out_i[:found] = self.items[order[:found]]
+        if self._served_c is not None:
+            self._served_c.inc()
+        return RecommendationPayload(
+            entity_id=int(entity_id),
+            k=k,
+            distances=out_d,
+            neighbor_ids=out_i,
+        )
+
+
+class ScenarioService:
+    """Breaker + cache front for the scenario engines.
+
+    The gateway treats this as one logical backend for the two new
+    request kinds.  Discipline copied from the PR 3 serving stack:
+
+    * a :class:`CircuitBreaker` guards every engine call; when open,
+      calls fail fast as :class:`RPCError` so the gateway's degraded
+      path takes over;
+    * successful payloads land in a bounded LRU keyed by the full
+      query; cache hits are served even while the breaker is open
+      (stale-on-open, like :class:`ResilientPKGMServer`);
+    * **degraded payloads are never cached** — the facade refuses even
+      if handed one, and the test suite pins that down for both kinds.
+    """
+
+    def __init__(
+        self,
+        explainer,
+        recommender,
+        clock: Optional[StepClock] = None,
+        registry=None,
+        cache_capacity: int = 256,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        self.explainer = explainer
+        self.recommender = recommender
+        self.clock = clock or StepClock()
+        # Default failure_types: unknown-id KeyErrors are domain errors
+        # and must not indict the backend.
+        self.breaker = breaker or CircuitBreaker(clock=self.clock)
+        self._cache = LRUDict(cache_capacity)
+        self._hits_c = self._misses_c = self._skips_c = self._shortcircuit_c = None
+        if registry is not None:
+            self._hits_c = registry.counter(
+                "scenarios.cache.hits", help="Scenario payloads served from cache"
+            )
+            self._misses_c = registry.counter(
+                "scenarios.cache.misses", help="Scenario cache misses"
+            )
+            self._skips_c = registry.counter(
+                "scenarios.cache.degraded_skips",
+                help="Degraded payloads refused by the cache",
+            )
+            self._shortcircuit_c = registry.counter(
+                "scenarios.breaker.short_circuits",
+                help="Scenario calls failed fast by the open breaker",
+            )
+
+    def cached(self, key: Tuple) -> Optional[object]:
+        """Peek the cache without touching recency (for tests)."""
+        return self._cache.peek(key)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _guarded(self, key: Tuple, call):
+        hit = self._cache.get(key)
+        if hit is not None:
+            if self._hits_c is not None:
+                self._hits_c.inc()
+            return hit
+        if self._misses_c is not None:
+            self._misses_c.inc()
+        try:
+            payload = self.breaker.call(call)
+        except CircuitOpenError as exc:
+            if self._shortcircuit_c is not None:
+                self._shortcircuit_c.inc()
+            raise RPCError(f"scenario breaker open: {exc}") from exc
+        if getattr(payload, "degraded", False):
+            if self._skips_c is not None:
+                self._skips_c.inc()
+            return payload
+        self._cache.put(key, payload)
+        return payload
+
+    def explain(
+        self, entity_id: int, relation: int, kind: str = "completion"
+    ) -> ExplanationPayload:
+        key = ("explain", int(entity_id), int(relation), kind)
+        return self._guarded(
+            key, lambda: self.explainer.explain(entity_id, relation, kind=kind)
+        )
+
+    def recommend(self, entity_id: int, k: int = 10) -> RecommendationPayload:
+        key = ("recommend", int(entity_id), int(k))
+        return self._guarded(
+            key, lambda: self.recommender.recommend(entity_id, k=k)
+        )
+
+
+class WorkerScenarios:
+    """Lazy per-process scenario engines for a forked pool worker.
+
+    Built inside ``worker_main`` after the store is opened; engines are
+    constructed on first use so workers serving only core kinds pay
+    nothing.  ``explain`` needs the :data:`~repro.scenarios.explain.SIDECAR_NAME`
+    sidecar in the store directory — without it the call raises
+    ``RuntimeError``, which the worker reports as a ``STATUS_ERROR``
+    outcome rather than dying.
+    """
+
+    def __init__(self, server, store_dir: str) -> None:
+        self.server = server
+        self.store_dir = store_dir
+        self._recommender: Optional[ServiceRecommender] = None
+        self._explainer = None
+        self._sidecar_loaded = False
+
+    def recommend(self, entity_id: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._recommender is None:
+            self._recommender = ServiceRecommender(self.server)
+        payload = self._recommender.recommend(entity_id, k=k)
+        return payload.distances, payload.neighbor_ids
+
+    def explain(self, entity_id: int, relation: int) -> dict:
+        if not self._sidecar_loaded:
+            self._explainer = load_sidecar(self.store_dir, server=self.server)
+            self._sidecar_loaded = True
+        if self._explainer is None:
+            raise RuntimeError("store has no scenarios sidecar")
+        return self._explainer.explain(entity_id, relation).canonical_dict()

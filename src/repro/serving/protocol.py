@@ -34,6 +34,7 @@ hand-built batch keep working unchanged.
 
 from __future__ import annotations
 
+import json
 import pickle
 import struct
 import zlib
@@ -53,9 +54,11 @@ STATUS_QUARANTINED = "quarantined"
 STATUS_DEADLINE = "deadline"
 STATUS_ERROR = "error"
 
-#: Request kinds the pool understands (all three coalesce into the
-#: batched kernels ``PKGMServer`` already exposes).
-KINDS = ("serve", "retrieve", "exist")
+#: Request kinds the pool understands.  The first three coalesce into
+#: the batched kernels ``PKGMServer`` already exposes; ``explain`` and
+#: ``recommend`` are the scenario kinds served by the per-worker
+#: engines in :mod:`repro.scenarios.service`.
+KINDS = ("serve", "retrieve", "exist", "explain", "recommend")
 
 
 class ProtocolError(RuntimeError):
@@ -200,6 +203,15 @@ def payload_checksum(kind: str, payload: object) -> int:
         data = distances.tobytes() + neighbor_ids.tobytes()
     elif kind == "exist":
         data = struct.pack(">d", float(payload))
+    elif kind == "recommend":
+        distances, neighbor_ids = payload
+        data = distances.tobytes() + neighbor_ids.tobytes()
+    elif kind == "explain":
+        # The payload is the explanation's canonical dict; canonical
+        # JSON makes the CRC independent of dict construction order.
+        data = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
     else:
         raise ValueError(f"unknown request kind {kind!r}")
     return zlib.crc32(data) & 0xFFFFFFFF

@@ -821,3 +821,24 @@ class Supervisor:
         if response.outcome != STATUS_OK:
             self._raise_for(response)
         return float(response.payload)
+
+    def explain(self, entity_id: int, relation: int, deadline=None) -> dict:
+        """One explanation, computed worker-side from the store sidecar.
+
+        Returns the explanation's canonical dict (the wire/CRC form);
+        a store without a ``scenarios.json`` sidecar answers every
+        explain with an ``"error"`` outcome, surfaced as
+        :class:`PoolError`.
+        """
+        response = self._call("explain", entity_id, relation=relation, deadline=deadline)
+        if response.outcome != STATUS_OK:
+            self._raise_for(response)
+        return response.payload
+
+    def recommend(self, entity_id: int, k: int = 10, deadline=None):
+        """Top-``k`` service-vector neighbors, computed worker-side."""
+        response = self._call("recommend", entity_id, k=k, deadline=deadline)
+        if response.outcome != STATUS_OK:
+            self._raise_for(response)
+        distances, neighbor_ids = response.payload
+        return distances, neighbor_ids

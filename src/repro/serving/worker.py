@@ -163,12 +163,47 @@ def _retrieve_batch(server, items: Sequence[LiveItem], k: int) -> List[WireResul
     ]
 
 
-def run_batch(server, kind: str, k: int, items: Sequence) -> List[WireResult]:
+def _explain_item(
+    scenarios, request_id: int, entity_id: int, relation: int
+) -> WireResult:
+    if scenarios is None:
+        return (request_id, STATUS_ERROR, "worker has no scenario engines")
+    try:
+        payload = scenarios.explain(int(entity_id), int(relation))
+    except QuarantinedRowError as error:
+        return (request_id, STATUS_QUARANTINED, _quarantine_info(error))
+    except (KeyError, IndexError):
+        return (request_id, STATUS_UNKNOWN, None)
+    except RuntimeError as error:  # missing sidecar: degrade, don't die
+        return (request_id, STATUS_ERROR, str(error))
+    return (request_id, STATUS_OK, payload)
+
+
+def _recommend_item(
+    scenarios, request_id: int, entity_id: int, k: int
+) -> WireResult:
+    if scenarios is None:
+        return (request_id, STATUS_ERROR, "worker has no scenario engines")
+    try:
+        distances, neighbor_ids = scenarios.recommend(int(entity_id), int(k))
+    except QuarantinedRowError as error:
+        return (request_id, STATUS_QUARANTINED, _quarantine_info(error))
+    except (KeyError, IndexError):
+        return (request_id, STATUS_UNKNOWN, None)
+    return (request_id, STATUS_OK, (distances, neighbor_ids))
+
+
+def run_batch(
+    server, kind: str, k: int, items: Sequence, scenarios=None
+) -> List[WireResult]:
     """Answer one coalesced batch; every item gets exactly one result.
 
     Items whose deadline budget is already spent are cancelled here —
     before any kernel or store page is touched — with
-    ``STATUS_DEADLINE``; only the still-live remainder runs.
+    ``STATUS_DEADLINE``; only the still-live remainder runs.  The
+    scenario kinds (``explain`` / ``recommend``) go through the
+    optional per-process ``scenarios`` engines; without them every
+    scenario item answers ``STATUS_ERROR``.
     """
     normalized = _normalize_items(items)
     results: List[WireResult] = [
@@ -189,6 +224,15 @@ def run_batch(server, kind: str, k: int, items: Sequence) -> List[WireResult]:
         results.extend(_exist_batch(server, live))
     elif kind == "retrieve":
         results.extend(_retrieve_batch(server, live, k))
+    elif kind == "explain":
+        results.extend(
+            _explain_item(scenarios, rid, entity, relation)
+            for rid, entity, relation in live
+        )
+    elif kind == "recommend":
+        results.extend(
+            _recommend_item(scenarios, rid, entity, k) for rid, entity, _ in live
+        )
     else:
         results.extend(
             (rid, STATUS_ERROR, f"unknown kind {kind!r}") for rid, _, _ in live
@@ -204,6 +248,7 @@ def worker_main(
     # modules anyway, and keeping this file import-light keeps the
     # protocol tests free of the numpy-heavy service stack.
     from ..core.service import PKGMServer
+    from ..scenarios.service import WorkerScenarios
 
     try:
         server = PKGMServer.from_store(store_dir, cache_pages=cache_pages)
@@ -213,6 +258,7 @@ def worker_main(
         except OSError:  # repro-lint: disable=bare-except
             pass  # supervisor hung up first; it will see EOF regardless
         return
+    scenarios = WorkerScenarios(server, store_dir)
     served = 0
     try:
         send_frame(sock, ("ready", int(worker_id), int(server.num_entities)))
@@ -228,7 +274,7 @@ def worker_main(
                 continue
             if tag == "batch":
                 _, kind, k, items = message
-                results = run_batch(server, kind, int(k), items)
+                results = run_batch(server, kind, int(k), items, scenarios)
                 served += len(items)
                 send_frame(sock, ("results", int(worker_id), results))
                 continue

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..config import ExperimentConfig
-from ..core import KeyRelationSelector, PKGM
+from ..core import KeyRelationSelector, PKGM, PKGMServer
 from ..data import generate_catalog
 from ..index.ivf import IVFFlatIndex
 from ..obs.metrics import MetricsRegistry
@@ -132,6 +132,7 @@ class StreamPipeline:
         run_dir: Union[str, Path],
         config: Optional[StreamRunConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        from_checkpoint: Optional[Union[str, Path]] = None,
     ) -> None:
         self.experiment = experiment
         self.run_dir = Path(run_dir)
@@ -146,28 +147,61 @@ class StreamPipeline:
         self.selector = KeyRelationSelector(
             catalog.store, item_to_category, k=experiment.key_relations
         )
-        model = PKGM(
-            len(catalog.entities),
-            len(catalog.relations),
-            experiment.pkgm,
-            rng=np.random.default_rng(experiment.seed),
-        )
-        self.dim = model.config.dim
-        self.relation_table = np.array(
-            model.triple_module.relation_embeddings.weight.data,
-            dtype=np.float64,
-        )
-        self.transfer = np.array(
-            model.relation_module.transfer_matrices.data, dtype=np.float64
-        )
+        if from_checkpoint is not None:
+            # Seed every table from a trained snapshot instead of the
+            # untrained smoke model: the published stream snapshots then
+            # serve the trained embeddings from batch zero.
+            server = PKGMServer.load(from_checkpoint)
+            mismatches = []
+            if server.num_entities != len(catalog.entities):
+                mismatches.append(
+                    f"entities {server.num_entities} != {len(catalog.entities)}"
+                )
+            if server.num_relations != len(catalog.relations):
+                mismatches.append(
+                    f"relations {server.num_relations} != "
+                    f"{len(catalog.relations)}"
+                )
+            if server.k != experiment.key_relations:
+                mismatches.append(
+                    f"key relations k={server.k} != "
+                    f"{experiment.key_relations}"
+                )
+            if mismatches:
+                raise ValueError(
+                    f"checkpoint {from_checkpoint!s} does not match the "
+                    "experiment catalog: " + "; ".join(mismatches)
+                )
+            self.dim = server.dim
+            self.relation_table = np.array(
+                server.relation_table, dtype=np.float64
+            )
+            self.transfer = np.array(server.transfer_tensor, dtype=np.float64)
+            entity_table = np.array(server.entity_table, dtype=np.float64)
+        else:
+            model = PKGM(
+                len(catalog.entities),
+                len(catalog.relations),
+                experiment.pkgm,
+                rng=np.random.default_rng(experiment.seed),
+            )
+            self.dim = model.config.dim
+            self.relation_table = np.array(
+                model.triple_module.relation_embeddings.weight.data,
+                dtype=np.float64,
+            )
+            self.transfer = np.array(
+                model.relation_module.transfer_matrices.data, dtype=np.float64
+            )
+            entity_table = np.asarray(
+                model.triple_module.entity_embeddings.weight.data,
+                dtype=np.float64,
+            )
         self.state = StreamState.from_catalog(catalog)
         self.stream = CatalogDeltaStream(self.state, self.config.delta)
         self.log = DeltaLog(self.run_dir / "deltas")
         self.trainer = ContinualTrainer(
-            np.asarray(
-                model.triple_module.entity_embeddings.weight.data,
-                dtype=np.float64,
-            ),
+            entity_table,
             self.relation_table,
             self.config.continual,
         )

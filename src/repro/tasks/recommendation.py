@@ -127,6 +127,49 @@ class NCF(Module):
         self.train()
         return 1.0 / (1.0 + np.exp(-np.clip(logits.data, -60, 60)))
 
+    def predict_unseen(
+        self,
+        user_ids: np.ndarray,
+        service: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Scores for items with *no trained embedding* (cold start).
+
+        Every unseen item is represented by the mean of the trained
+        item-embedding tables — the standard fold-in for an id the
+        model never saw.  Without a ``service`` input the item side is
+        therefore identical across candidates and the model cannot
+        rank them (the collaborative cold-start failure); with PKGM
+        service features in the MLP path (Eq. 21) the candidates
+        separate again.  This is the warm-only baseline of the
+        zero-shot scenario in :mod:`repro.scenarios.coldstart`.
+        """
+        self.eval()
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        shape = (*user_ids.shape, 1)
+        gmf_mean = self.gmf_item.weight.data.mean(axis=0)
+        mlp_mean = self.mlp_item.weight.data.mean(axis=0)
+        gmf = self.gmf_user(user_ids) * Tensor(
+            np.tile(gmf_mean, shape)
+        )
+        parts = [self.mlp_user(user_ids), Tensor(np.tile(mlp_mean, shape))]
+        if self.config.service_dim:
+            if service is None:
+                raise ValueError("model configured with service_dim needs service input")
+            service = np.asarray(service, dtype=np.float64)
+            if service.shape != (*user_ids.shape, self.config.service_dim):
+                raise ValueError(
+                    f"service shape {service.shape} != "
+                    f"{(*user_ids.shape, self.config.service_dim)}"
+                )
+            parts.append(Tensor(service))
+        elif service is not None:
+            raise ValueError("model without service_dim got a service input")
+        z1 = concat(parts, axis=-1)
+        fused = concat([gmf, self.mlp(z1)], axis=-1)
+        logits = self.prediction(fused).reshape(user_ids.shape)
+        self.train()
+        return 1.0 / (1.0 + np.exp(-np.clip(logits.data, -60, 60)))
+
 
 @dataclass(frozen=True)
 class RecommendationResult:
@@ -187,8 +230,13 @@ class RecommendationTask:
             return np.stack([b.relation_vectors.mean(axis=0) for b in batches])
         return np.stack([b.condensed() for b in batches])
 
-    def run(self, variant: str) -> RecommendationResult:
-        """Train one NCF variant and evaluate Table VIII metrics."""
+    def train_model(self, variant: str) -> Tuple[NCF, Optional[np.ndarray]]:
+        """Train one NCF variant; returns ``(model, item features)``.
+
+        Split out of :meth:`run` so the zero-shot scenario
+        (:mod:`repro.scenarios.coldstart`) can reuse the trained model
+        for cold-item scoring via :meth:`NCF.predict_unseen`.
+        """
         variant = validate_variant(variant)
         features = self.item_features(variant)
         service_dim = 0 if features is None else features.shape[1]
@@ -224,6 +272,11 @@ class RecommendationTask:
                 loss.backward()
                 optimizer.step()
 
+        return model, features
+
+    def run(self, variant: str) -> RecommendationResult:
+        """Train one NCF variant and evaluate Table VIII metrics."""
+        model, features = self.train_model(variant)
         return self.evaluate(model, variant, features)
 
     def evaluate(

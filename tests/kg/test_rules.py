@@ -118,3 +118,101 @@ class TestRuleCompleter:
 
     def test_num_rules(self, completer):
         assert completer.num_rules > 0
+
+
+class TestRuleCompleterHardening:
+    """Edge cases the explanation service leans on: empty rule sets,
+    retired relations, and deterministic tie-breaks."""
+
+    def test_empty_rule_set_is_valid(self):
+        completer = RuleCompleter([])
+        store = TripleStore([(0, 0, 100)])
+        assert completer.num_rules == 0
+        assert completer.rules == []
+        assert completer.head_relations() == []
+        assert completer.predict(store, 0, 1) == []
+        assert completer.supporting_rules(store, 0, 1, 200) == []
+        assert len(completer.complete_store(store)) == len(store)
+
+    def test_duplicate_signatures_collapse_to_best(self):
+        weak = Rule(0, 100, 1, 200, support=3, confidence=0.7)
+        strong = Rule(0, 100, 1, 200, support=5, confidence=0.9)
+        for ordering in ([weak, strong], [strong, weak]):
+            completer = RuleCompleter(ordering)
+            assert completer.num_rules == 1
+            assert completer.rules[0].confidence == pytest.approx(0.9)
+            assert completer.rules[0].support == 5
+
+    def test_prune_drops_retired_relations(self):
+        rules = [
+            Rule(0, 100, 1, 200, support=3, confidence=0.9),
+            Rule(2, 300, 1, 201, support=3, confidence=0.8),  # retired body
+            Rule(0, 100, 3, 400, support=3, confidence=0.8),  # retired head
+        ]
+        pruned = RuleCompleter(rules).prune({0, 1})
+        assert pruned.num_rules == 1
+        assert pruned.rules[0].signature == (0, 100, 1, 200)
+        # The original completer is untouched.
+        assert RuleCompleter(rules).num_rules == 3
+
+    def test_prune_to_nothing(self):
+        rules = [Rule(0, 100, 1, 200, support=3, confidence=0.9)]
+        pruned = RuleCompleter(rules).prune([])
+        assert pruned.num_rules == 0
+        assert pruned.predict(TripleStore([(0, 0, 100)]), 0, 1) == []
+
+    def test_rule_order_invariant_under_shuffle(self):
+        mined = RuleMiner(min_support=1, min_confidence=0.1).mine(
+            implication_store()
+        )
+        reference = RuleCompleter(mined).rules
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            shuffled = list(mined)
+            rng.shuffle(shuffled)
+            assert RuleCompleter(shuffled).rules == reference
+
+    def test_confidence_ties_break_to_lowest_ids(self):
+        tied = [
+            Rule(5, 100, 1, 210, support=3, confidence=0.8),
+            Rule(2, 101, 1, 205, support=3, confidence=0.8),
+            Rule(2, 100, 1, 204, support=3, confidence=0.8),
+        ]
+        ordered = RuleCompleter(tied).rules
+        signatures = [r.signature for r in ordered]
+        assert signatures == sorted(signatures)
+
+    def test_predict_vote_ties_break_to_lowest_value(self):
+        rules = [
+            Rule(0, 100, 1, 205, support=3, confidence=0.8),
+            Rule(0, 100, 1, 204, support=3, confidence=0.8),
+        ]
+        store = TripleStore([(7, 0, 100)])
+        predictions = RuleCompleter(rules).predict(store, 7, 1)
+        assert [value for value, _ in predictions] == [204, 205]
+
+    def test_complete_store_skips_retired_head_relations(self):
+        # Relation 1 appears in the rules but no longer in the store:
+        # completion must not resurrect it.
+        rules = [Rule(0, 100, 1, 200, support=3, confidence=0.9)]
+        store = TripleStore([(20, 0, 100)])
+        completed = RuleCompleter(rules).complete_store(store, min_score=0.5)
+        assert (20, 1, 200) not in completed
+        assert len(completed) == len(store)
+
+    def test_supporting_rules_cite_concrete_triples(self):
+        rules = [
+            Rule(0, 100, 1, 200, support=3, confidence=0.9),
+            Rule(2, 300, 1, 200, support=3, confidence=0.8),
+            Rule(3, 400, 1, 201, support=3, confidence=0.95),
+        ]
+        store = TripleStore([(7, 0, 100), (7, 2, 300), (7, 3, 400)])
+        support = RuleCompleter(rules).supporting_rules(store, 7, 1, 200)
+        assert [rule.signature for rule, _ in support] == [
+            (0, 100, 1, 200),
+            (2, 300, 1, 200),
+        ]
+        for rule, (head, relation, tail) in support:
+            assert head == 7
+            assert (relation, tail) == (rule.body_relation, rule.body_value)
+            assert (head, relation, tail) in store

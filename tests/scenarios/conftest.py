@@ -1,0 +1,47 @@
+"""Fixtures for the scenario suite: smoke catalog + untrained server.
+
+Explanation and recommendation *mechanics* (citations, entailment,
+caching, degraded paths) do not depend on trained weights, so the
+shared server skips pre-training; the cold-start quality claims live
+in ``benchmarks/bench_scenarios.py``, which does train.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import PRESETS
+from repro.core import KeyRelationSelector, PKGM, PKGMServer
+from repro.data import generate_catalog
+from repro.kg.rules import RuleMiner
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    return PRESETS["smoke"]()
+
+
+@pytest.fixture(scope="session")
+def catalog(experiment):
+    return generate_catalog(experiment.catalog)
+
+
+@pytest.fixture(scope="session")
+def server(experiment, catalog):
+    item_to_category = {
+        item.entity_id: item.category_id for item in catalog.items
+    }
+    selector = KeyRelationSelector(
+        catalog.store, item_to_category, k=experiment.key_relations
+    )
+    model = PKGM(
+        len(catalog.entities),
+        len(catalog.relations),
+        experiment.pkgm,
+        rng=np.random.default_rng(experiment.seed),
+    )
+    return PKGMServer(model, selector)
+
+
+@pytest.fixture(scope="session")
+def rules(catalog):
+    return RuleMiner(min_support=2, min_confidence=0.6).mine(catalog.store)

@@ -1,0 +1,167 @@
+"""Tests for the zero-shot cold-start scenario: split construction,
+the co-occurrence alignment head, and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import PKGMConfig
+from repro.core.trainer import TrainerConfig
+from repro.scenarios import (
+    ColdStartConfig,
+    ColdStartReport,
+    ColdStartSplit,
+    CooccurrenceAligner,
+    evaluate_coldstart,
+    generate_coldstart_split,
+    pretrain_multitask,
+)
+
+
+@pytest.fixture(scope="module")
+def split(catalog, experiment):
+    return generate_coldstart_split(
+        catalog, experiment.interactions, ColdStartConfig(seed=0)
+    )
+
+
+class TestSplit:
+    def test_cold_items_absent_by_construction(self, split):
+        """The defining invariant: no training event touches a cold item."""
+        assert isinstance(split, ColdStartSplit)
+        cold = set(split.cold_items)
+        assert cold
+        assert all(
+            event.item_id not in cold
+            for event in split.interactions.interactions
+        )
+
+    def test_cold_and_warm_partition_items(self, split):
+        assert sorted(split.cold_items + split.warm_items) == list(
+            range(split.interactions.num_items)
+        )
+
+    def test_every_user_keeps_minimum_warm_history(self, split):
+        config = ColdStartConfig()
+        histories = split.interactions.by_user()
+        for user_id in range(split.interactions.num_users):
+            assert len(histories.get(user_id, [])) >= config.min_warm_per_user
+
+    def test_heldout_positives_are_cold(self, split):
+        cold = set(split.cold_items)
+        assert len(split.heldout) == split.interactions.num_users
+        assert all(item in cold for item in split.heldout.values())
+
+    def test_deterministic(self, catalog, experiment, split):
+        again = generate_coldstart_split(
+            catalog, experiment.interactions, ColdStartConfig(seed=0)
+        )
+        assert again.cold_items == split.cold_items
+        assert again.heldout == split.heldout
+        assert again.interactions.interactions == split.interactions.interactions
+
+    def test_seed_changes_split(self, catalog, experiment, split):
+        other = generate_coldstart_split(
+            catalog, experiment.interactions, ColdStartConfig(seed=1)
+        )
+        assert other.cold_items != split.cold_items
+
+    def test_summary_line(self, split):
+        summary = split.summary()
+        assert "coldstart split:" in summary
+        assert f"{len(split.cold_items)} cold" in summary
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ColdStartConfig(cold_fraction=0.0)
+        with pytest.raises(ValueError):
+            ColdStartConfig(cold_fraction=1.0)
+        with pytest.raises(ValueError):
+            ColdStartConfig(alignment_lr=0.0)
+        with pytest.raises(ValueError):
+            ColdStartConfig(min_warm_per_user=0)
+
+
+class TestAligner:
+    def test_steps_reduce_alignment_loss(self, split, catalog):
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        aligner = CooccurrenceAligner(split.interactions, item_entity_ids)
+        assert aligner.num_pairs > 0
+        rng = np.random.default_rng(0)
+        table = rng.normal(size=(len(catalog.entities), 8))
+        losses = [aligner.step(table, lr=0.05, weight=0.5) for _ in range(5)]
+        losses.append(aligner.loss(table))
+        assert losses[-1] < losses[0]
+        assert all(b <= a for a, b in zip(losses, losses[1:]))
+
+    def test_cold_entities_never_paired(self, split, catalog):
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        aligner = CooccurrenceAligner(split.interactions, item_entity_ids)
+        cold_entities = {item_entity_ids[i] for i in split.cold_items}
+        assert not cold_entities & set(aligner._a.tolist())
+        assert not cold_entities & set(aligner._b.tolist())
+
+    def test_max_pairs_keeps_strongest(self, split, catalog):
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        full = CooccurrenceAligner(split.interactions, item_entity_ids)
+        capped = CooccurrenceAligner(
+            split.interactions, item_entity_ids, max_pairs=3
+        )
+        assert capped.num_pairs == 3
+        assert capped.num_pairs <= full.num_pairs
+
+    def test_empty_interactions_are_harmless(self, catalog):
+        from repro.data.interactions import InteractionDataset
+
+        empty = InteractionDataset(
+            num_users=2,
+            num_items=len(catalog.items),
+            interactions=[],
+            user_personas=[{}, {}],
+        )
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        aligner = CooccurrenceAligner(empty, item_entity_ids)
+        assert aligner.num_pairs == 0
+        table = np.ones((4, 4))
+        assert aligner.step(table, lr=0.1, weight=1.0) == 0.0
+        assert np.array_equal(table, np.ones((4, 4)))
+
+
+class TestMultitask:
+    def test_alignment_interleaves_with_epochs(self, catalog, split):
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        model, history, alignment_losses = pretrain_multitask(
+            catalog.store,
+            len(catalog.entities),
+            len(catalog.relations),
+            split,
+            item_entity_ids,
+            model_config=PKGMConfig(dim=8),
+            trainer_config=TrainerConfig(epochs=3, batch_size=128),
+            coldstart=ColdStartConfig(),
+            seed=0,
+        )
+        assert len(alignment_losses) == len(history.epoch_losses) == 3
+        assert all(loss >= 0.0 for loss in alignment_losses)
+        assert model.num_entities == len(catalog.entities)
+
+    def test_evaluation_reports_all_methods(self, catalog, split, server):
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        report = evaluate_coldstart(
+            server, split, item_entity_ids, catalog, config=ColdStartConfig()
+        )
+        assert isinstance(report, ColdStartReport)
+        assert set(report.methods) == {"service", "popularity", "random"}
+        for metrics in report.methods.values():
+            for k in (1, 5, 10):
+                assert 0.0 <= metrics[f"HR@{k}"] <= 1.0
+                assert 0.0 <= metrics[f"NDCG@{k}"] <= 1.0
+        assert report.num_users == len(split.heldout)
+        assert report.num_cold == len(split.cold_items)
+        lines = report.lines()
+        assert any("service" in line for line in lines)
+
+    def test_evaluation_deterministic(self, catalog, split, server):
+        item_entity_ids = [item.entity_id for item in catalog.items]
+        first = evaluate_coldstart(server, split, item_entity_ids, catalog)
+        second = evaluate_coldstart(server, split, item_entity_ids, catalog)
+        assert first.methods == second.methods

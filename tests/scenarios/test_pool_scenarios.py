@@ -1,0 +1,143 @@
+"""Tests for the scenario op kinds on the pool wire protocol and the
+forked worker pool (explain/recommend end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import PoolConfig, PoolError, Supervisor, payload_checksum, run_batch
+from repro.serving.protocol import KINDS, STATUS_ERROR, STATUS_OK, STATUS_UNKNOWN
+from repro.scenarios import (
+    Explainer,
+    ServiceRecommender,
+    WorkerScenarios,
+    save_sidecar,
+)
+
+
+class TestProtocol:
+    def test_scenario_kinds_registered(self):
+        assert "explain" in KINDS
+        assert "recommend" in KINDS
+
+    def test_explain_checksum_deterministic(self, catalog, rules, server):
+        explainer = Explainer(catalog.store, rules=rules, server=server)
+        item = catalog.items[0].entity_id
+        relation = explainer.completer.head_relations()[0]
+        payload = explainer.explain(item, relation).canonical_dict()
+        assert payload_checksum("explain", payload) == payload_checksum(
+            "explain", dict(reversed(list(payload.items())))
+        )
+        other = explainer.explain(item, relation, top_k=1).canonical_dict()
+        if other != payload:
+            assert payload_checksum("explain", other) != payload_checksum(
+                "explain", payload
+            )
+
+    def test_recommend_checksum_covers_both_arrays(self):
+        distances = np.asarray([0.5, 1.5])
+        ids = np.asarray([3, 4], dtype=np.int64)
+        base = payload_checksum("recommend", (distances, ids))
+        assert base == payload_checksum("recommend", (distances.copy(), ids.copy()))
+        assert base != payload_checksum(
+            "recommend", (distances, np.asarray([3, 5], dtype=np.int64))
+        )
+        assert base != payload_checksum(
+            "recommend", (np.asarray([0.5, 2.5]), ids)
+        )
+
+
+class TestRunBatch:
+    def test_scenario_kinds_without_engines_degrade(self, server):
+        for kind in ("explain", "recommend"):
+            results = run_batch(server, kind, 5, [(1, 0, 0, None)], scenarios=None)
+            assert results == [(1, STATUS_ERROR, "worker has no scenario engines")]
+
+    def test_scenario_kinds_with_engines(
+        self, server, catalog, rules, tmp_path
+    ):
+        save_sidecar(str(tmp_path), catalog.store, rules)
+        scenarios = WorkerScenarios(server, str(tmp_path))
+        item = catalog.items[0].entity_id
+        results = run_batch(
+            server, "recommend", 5, [(1, item, 0, None)], scenarios=scenarios
+        )
+        rid, status, payload = results[0]
+        assert (rid, status) == (1, STATUS_OK)
+        direct = ServiceRecommender(server).recommend(item, k=5)
+        assert np.array_equal(payload[0], direct.distances)
+        assert np.array_equal(payload[1], direct.neighbor_ids)
+
+        explainer = Explainer(catalog.store, rules=rules, server=server)
+        relation = explainer.completer.head_relations()[0]
+        results = run_batch(
+            server, "explain", 0, [(2, item, relation, None)], scenarios=scenarios
+        )
+        rid, status, payload = results[0]
+        assert (rid, status) == (2, STATUS_OK)
+        assert payload == explainer.explain(item, relation).canonical_dict()
+
+    def test_unknown_ids_degrade_per_item(self, server, catalog, tmp_path):
+        scenarios = WorkerScenarios(server, str(tmp_path))
+        item = catalog.items[0].entity_id
+        results = run_batch(
+            server,
+            "recommend",
+            5,
+            [(1, item, 0, None), (2, 10**6, 0, None)],
+            scenarios=scenarios,
+        )
+        by_id = {rid: status for rid, status, _ in results}
+        assert by_id == {1: STATUS_OK, 2: STATUS_UNKNOWN}
+
+
+@pytest.fixture(scope="module")
+def scenario_store(tmp_path_factory, server, catalog, rules):
+    path = tmp_path_factory.mktemp("scenarios") / "store"
+    server.save_store(path, num_shards=2, page_bytes=4096).close()
+    save_sidecar(str(path), catalog.store, rules)
+    return path
+
+
+@pytest.fixture(scope="module")
+def bare_store(tmp_path_factory, server):
+    """Same embeddings, no sidecar: recommend works, explain errors."""
+    path = tmp_path_factory.mktemp("scenarios-bare") / "store"
+    server.save_store(path, num_shards=2, page_bytes=4096).close()
+    return path
+
+
+class TestForkedPool:
+    def test_pool_matches_direct_engines(
+        self, scenario_store, server, catalog, rules
+    ):
+        explainer = Explainer(catalog.store, rules=rules, server=server)
+        recommender = ServiceRecommender(server)
+        item = catalog.items[0].entity_id
+        relation = explainer.completer.head_relations()[0]
+        pool = Supervisor(scenario_store, PoolConfig(num_workers=2, max_batch=4))
+        pool.start()
+        try:
+            payload = pool.explain(item, relation)
+            assert payload == explainer.explain(item, relation).canonical_dict()
+            distances, neighbor_ids = pool.recommend(item, k=5)
+            direct = recommender.recommend(item, k=5)
+            assert np.array_equal(distances, direct.distances)
+            assert np.array_equal(neighbor_ids, direct.neighbor_ids)
+            with pytest.raises(KeyError):
+                pool.explain(10**6, relation)
+        finally:
+            pool.shutdown()
+
+    def test_missing_sidecar_fails_explain_not_recommend(
+        self, bare_store, server, catalog
+    ):
+        item = catalog.items[0].entity_id
+        pool = Supervisor(bare_store, PoolConfig(num_workers=1, max_batch=4))
+        pool.start()
+        try:
+            with pytest.raises(PoolError, match="error"):
+                pool.explain(item, 0)
+            distances, neighbor_ids = pool.recommend(item, k=5)
+            assert len(distances) == len(neighbor_ids) == 5
+        finally:
+            pool.shutdown()

@@ -1,0 +1,34 @@
+"""The scenario workload gate, in-process: deterministic and passing."""
+
+from repro.scenarios import ScenarioWorkloadReport, run_scenarios_workload
+
+
+class TestScenarioWorkload:
+    def test_two_runs_byte_identical_and_pass(self):
+        first = run_scenarios_workload(seed=0, requests=36, pool_requests=12)
+        second = run_scenarios_workload(seed=0, requests=36, pool_requests=12)
+        assert isinstance(first, ScenarioWorkloadReport)
+        assert first.lines() == second.lines()
+        assert first.passed
+        assert first.lines()[-1] == "scenarios workload: PASS"
+
+    def test_transcript_shape(self):
+        report = run_scenarios_workload(seed=3, requests=24, pool_requests=8)
+        assert report.passed
+        assert "== gateway phase ==" in report.lines()
+        assert "== pool phase ==" in report.lines()
+        # One transcript line per answered request in each phase.
+        assert len(report.gateway_lines) == 24
+        assert len(report.pool_lines) == 8
+        outcomes = {line.split("outcome=")[1].split()[0] for line in report.gateway_lines}
+        assert "ok" in outcomes
+        # Metric lines carry the scenario counter surface.
+        assert any(
+            line.startswith("scenarios.") for line in report.metric_lines
+        )
+
+    def test_seed_changes_transcript(self):
+        assert (
+            run_scenarios_workload(seed=0, requests=24, pool_requests=8).lines()
+            != run_scenarios_workload(seed=1, requests=24, pool_requests=8).lines()
+        )

@@ -37,6 +37,27 @@ class TestParser:
             config = factory()
             assert config.pkgm.dim >= 1
 
+    def test_scenarios_subcommands_registered(self):
+        parser = build_parser()
+        for sub in ("workload", "coldstart", "explain", "transfer"):
+            args = parser.parse_args(["scenarios", sub])
+            assert args.command == "scenarios"
+            assert args.scenarios_command == sub
+        args = parser.parse_args(
+            ["scenarios", "workload", "--requests", "40", "--pool-requests", "8"]
+        )
+        assert (args.requests, args.pool_requests) == (40, 8)
+        args = parser.parse_args(["scenarios", "explain", "--kind", "existence"])
+        assert args.kind == "existence"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["scenarios"])
+
+    def test_stream_from_checkpoint_flag(self):
+        args = build_parser().parse_args(
+            ["stream", "run", "--dir", "/tmp/x", "--from-checkpoint", "ckpt.npz"]
+        )
+        assert args.from_checkpoint == "ckpt.npz"
+
 
 class TestCommands:
     def test_stats_runs(self, capsys):

@@ -121,6 +121,23 @@ grep -q "stream drill: RECOVERED" "$OBS_TMP/stream1.txt"
 echo "stream-chaos recovery is byte-identical across reruns"
 
 echo
+echo "== scenarios workload (explain + recommend, byte-diffed) =="
+# The seeded scenario workload: explanation and recommendation
+# requests through the gateway (with injected unknown-id and expired
+# budgets) and through the forked worker pool.  It must PASS (every
+# request answered, degraded responses typed and never cached, every
+# explanation entailed by its cited triples) and the transcript —
+# request ids, outcomes, payload digests, scenarios.* metrics — must
+# be byte-identical across two runs.
+python -m repro.cli scenarios workload --requests 120 --pool-requests 48 \
+    > "$OBS_TMP/scenarios1.txt"
+python -m repro.cli scenarios workload --requests 120 --pool-requests 48 \
+    > "$OBS_TMP/scenarios2.txt"
+diff "$OBS_TMP/scenarios1.txt" "$OBS_TMP/scenarios2.txt"
+grep -q "scenarios workload: PASS" "$OBS_TMP/scenarios1.txt"
+echo "scenario workload transcript is byte-identical across reruns"
+
+echo
 echo "== repro.lint (per-file + whole-program) =="
 # One pass over every Python tree: per-file rules plus the
 # whole-program passes (import/call graphs, determinism taint,
